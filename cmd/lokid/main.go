@@ -1,0 +1,123 @@
+// Command lokid runs the runtime phase only — the daemons' job in thesis
+// §3.5: it boots the virtual testbed, runs one experiment of a study
+// (synchronization mini-phases included), and writes the raw artifacts the
+// off-line pipeline consumes: one local timeline file per state machine
+// (§3.5.6 format) and the timestamps file for alphabeta.
+//
+// Usage:
+//
+//	lokid -nodes nodes.txt [-faults faults.txt] [-app election|replica]
+//	      [-runfor 150ms] [-dormancy 10ms] [-seed 1] -out DIR
+//
+// Continue the pipeline with:
+//
+//	alphabeta  -stamps DIR/timestamps.txt -out DIR/alphabeta.txt
+//	makeglobal -alphabeta DIR/alphabeta.txt -out DIR/global.timeline DIR/*.timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	loki "repro"
+	"repro/internal/cli"
+	"repro/internal/clocksync"
+	"repro/internal/timeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lokid: ")
+	var (
+		nodesPath  = flag.String("nodes", "", "node file (required)")
+		faultsPath = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always>' per line")
+		app        = flag.String("app", "election", "built-in application: election or replica")
+		runFor     = flag.Duration("runfor", 150*time.Millisecond, "application run time")
+		dormancy   = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy")
+		seed       = flag.Int64("seed", 1, "random seed")
+		outDir     = flag.String("out", "", "output directory (required)")
+	)
+	flag.Parse()
+	if *nodesPath == "" || *outDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	nodesDoc, err := cli.ReadFile(*nodesPath, "node file")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes, err := loki.ParseNodeFile(nodesDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var faults []cli.MachineFault
+	if *faultsPath != "" {
+		doc, err := cli.ReadFile(*faultsPath, "fault file")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if faults, err = cli.ParseFaultFile(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	study, err := cli.BuildStudy("runtime", cli.StudyOptions{
+		App: *app, Nodes: nodes, Faults: faults,
+		RunFor: *runFor, Dormancy: *dormancy, Seed: *seed, Experiments: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run exactly one experiment, capturing the raw runtime artifacts.
+	c := &loki.Campaign{
+		Name:    "lokid",
+		Hosts:   cli.HostsFor(nodes, *seed),
+		Studies: []*loki.Study{study},
+		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
+	}
+	rec, stamps, locals, err := cli.RunSingleExperiment(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rec.Completed {
+		log.Fatal("experiment timed out; no artifacts written")
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, tl := range locals {
+		path := filepath.Join(*outDir, tl.Owner+".timeline")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := timeline.Encode(f, tl); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d entries)\n", path, len(tl.Entries))
+	}
+	stampPath := filepath.Join(*outDir, "timestamps.txt")
+	f, err := os.Create(stampPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := clocksync.EncodeTimestamps(f, stamps); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d messages)\n", stampPath, len(stamps))
+	for nick, outcome := range rec.Outcomes {
+		fmt.Printf("node %s: %s\n", nick, outcome)
+	}
+}

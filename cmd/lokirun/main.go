@@ -1,0 +1,155 @@
+// Command lokirun is the campaign driver — the central daemon role of
+// thesis §3.5.1 extended over the full pipeline of Fig. 2.1: it runs every
+// experiment of a study on the virtual testbed (with synchronization
+// mini-phases), performs the analysis phase, writes the per-experiment
+// artifacts (local timelines, timestamps, alphabeta bounds, global
+// timeline), and prints the acceptance summary.
+//
+// Usage:
+//
+//	lokirun -nodes nodes.txt [-faults faults.txt] [-app election|replica]
+//	        [-experiments N] [-runfor 150ms] [-dormancy 10ms] [-restart]
+//	        [-seed 1] [-out DIR]
+//
+// The node file is the §3.5.1 format ("<nick> [<host>]"); the fault file
+// holds "<machine> <name> <expr> <once|always>" lines. Injected faults
+// crash the target after the dormancy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	loki "repro"
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/clocksync"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lokirun: ")
+	var (
+		nodesPath   = flag.String("nodes", "", "node file (required): '<nick> [<host>]' per line")
+		faultsPath  = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always>' per line")
+		app         = flag.String("app", "election", "built-in application: election or replica")
+		experiments = flag.Int("experiments", 3, "experiments to run")
+		runFor      = flag.Duration("runfor", 150*time.Millisecond, "application run time per experiment")
+		dormancy    = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy (0 = immediate crash)")
+		restart     = flag.Bool("restart", false, "restart crashed nodes once (supervisor)")
+		seed        = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
+		outDir      = flag.String("out", "", "artifact directory (default: none written)")
+	)
+	flag.Parse()
+	if *nodesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	nodesDoc, err := cli.ReadFile(*nodesPath, "node file")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes, err := loki.ParseNodeFile(nodesDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var faults []cli.MachineFault
+	if *faultsPath != "" {
+		doc, err := cli.ReadFile(*faultsPath, "fault file")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if faults, err = cli.ParseFaultFile(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	study, err := cli.BuildStudy("study1", cli.StudyOptions{
+		App:         *app,
+		Nodes:       nodes,
+		Faults:      faults,
+		RunFor:      *runFor,
+		Dormancy:    *dormancy,
+		Seed:        *seed,
+		Experiments: *experiments,
+		Restart:     *restart,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &loki.Campaign{
+		Name:    "lokirun",
+		Hosts:   cli.HostsFor(nodes, *seed),
+		Studies: []*loki.Study{study},
+		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
+	}
+	out, err := loki.RunCampaign(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sr := out.Study("study1")
+	fmt.Printf("study %s: %d experiments, acceptance rate %.2f\n",
+		sr.Name, len(sr.Records), sr.AcceptanceRate())
+	for _, rec := range sr.Records {
+		fmt.Printf("experiment %d: completed=%v accepted=%v\n", rec.Index, rec.Completed, rec.Accepted)
+		if rec.Report != nil {
+			for _, chk := range rec.Report.Injections {
+				fmt.Printf("  %s on %s at %v: correct=%v\n", chk.Fault, chk.Machine, chk.At, chk.Correct)
+			}
+			for _, miss := range rec.Report.MissingFaults {
+				fmt.Printf("  expected but missing: %s\n", miss)
+			}
+		}
+		if *outDir != "" && rec.Global != nil {
+			if err := writeArtifacts(*outDir, rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *outDir != "" {
+		fmt.Printf("artifacts written under %s\n", *outDir)
+	}
+}
+
+func writeArtifacts(dir string, rec *loki.ExperimentRecord) error {
+	expDir := filepath.Join(dir, fmt.Sprintf("exp%03d", rec.Index))
+	if err := os.MkdirAll(expDir, 0o755); err != nil {
+		return err
+	}
+	// Global timeline.
+	f, err := os.Create(filepath.Join(expDir, "global.timeline"))
+	if err != nil {
+		return err
+	}
+	if err := analysis.Encode(f, rec.Global); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Alphabeta bounds.
+	f, err = os.Create(filepath.Join(expDir, "alphabeta.txt"))
+	if err != nil {
+		return err
+	}
+	if err := clocksync.EncodeAlphaBeta(f, rec.Global.Reference, rec.Bounds); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Verdict.
+	verdict := "rejected"
+	if rec.Accepted {
+		verdict = "accepted"
+	}
+	return os.WriteFile(filepath.Join(expDir, "verdict.txt"), []byte(verdict+"\n"), 0o644)
+}

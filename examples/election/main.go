@@ -1,0 +1,162 @@
+// Command election reproduces the thesis's Chapter 5 fault injection
+// campaign on the leader election test application: three processes
+// (black, green, yellow) elect a leader; each carries a crash fault on its
+// own LEAD state (§5.4's bfault1/gfault1/yfault1), so whichever process the
+// election picks gets killed; a supervisor restarts crashed processes; and
+// the §5.8 study measures estimate the coverage of a leader error — did the
+// system detect the crash and recover?
+//
+// Two studies run: study1 injects the faults (§5.8's studies 1-3 merged)
+// and study0 is the fault-free baseline. The per-machine coverages are
+// combined with assumed fault occurrence rates by the stratified weighted
+// estimator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	loki "repro"
+	"repro/internal/apps/election"
+	"repro/internal/faultexpr"
+	"repro/internal/measure"
+	"repro/internal/observation"
+	"repro/internal/predicate"
+)
+
+var peers = []string{"black", "green", "yellow"}
+
+func electionStudy(name string, withFault bool, experiments int, seed int64) *loki.Study {
+	var nodes []loki.NodeDef
+	for i, nick := range peers {
+		in := election.New(election.Config{
+			Peers:  peers,
+			RunFor: 100 * time.Millisecond,
+			Seed:   seed + int64(i)*13,
+		})
+		var faults []loki.FaultSpec
+		if withFault {
+			// §5.8's studies 1-3 merged: each machine carries a crash fault
+			// on its own LEAD state (bfault1/gfault1/yfault1).
+			name := string(nick[0]) + "fault1"
+			faults = []loki.FaultSpec{{
+				Name: name,
+				Expr: faultexpr.MustParse("(" + nick + ":LEAD)"),
+				Mode: loki.Once,
+			}}
+			// Dormancy (§1.1) between injection and the crash error.
+			in.On(name, loki.DelayedCrashFault(10*time.Millisecond, 2*time.Millisecond, seed))
+		}
+		nodes = append(nodes, loki.NodeDef{
+			Nickname: nick,
+			Spec:     election.SpecFor(nick, peers),
+			Faults:   faults,
+			App:      in,
+		})
+	}
+	return &loki.Study{
+		Name:        name,
+		Nodes:       nodes,
+		Experiments: experiments,
+		Timeout:     10 * time.Second,
+		Placement: []loki.NodeEntry{
+			{Nickname: "black", Host: "h1"},
+			{Nickname: "green", Host: "h2"},
+			{Nickname: "yellow", Host: "h3"},
+		},
+		Restarts: &loki.RestartPolicy{After: 5 * time.Millisecond, MaxPerNode: 1},
+	}
+}
+
+func main() {
+	c := &loki.Campaign{
+		Name: "ch5-election",
+		Hosts: []loki.HostDef{
+			{Name: "h1", Clock: loki.ClockConfig{}},
+			{Name: "h2", Clock: loki.ClockConfig{Offset: 5e6, DriftPPM: 80}},
+			{Name: "h3", Clock: loki.ClockConfig{Offset: -2e6, DriftPPM: -45}},
+		},
+		Studies: []*loki.Study{
+			electionStudy("study1", true, 6, 1),
+			electionStudy("study0", false, 3, 100),
+		},
+		Sync: loki.SyncConfig{Messages: 10, Transit: 25 * time.Microsecond},
+	}
+	out, err := loki.RunCampaign(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, study := range out.Studies {
+		fmt.Printf("study %s: %d experiments, acceptance rate %.2f\n",
+			study.Name, len(study.Records), study.AcceptanceRate())
+		for _, rec := range study.Records {
+			verdicts := ""
+			if rec.Report != nil {
+				for _, chk := range rec.Report.Injections {
+					verdicts += fmt.Sprintf(" %s:%v", chk.Fault, chk.Correct)
+				}
+			}
+			fmt.Printf("  exp %d: completed=%v accepted=%v%s\n",
+				rec.Index, rec.Completed, rec.Accepted, verdicts)
+		}
+	}
+
+	// §5.8 coverage measure: black crashed; was it restarted?
+	restarted := observation.User{
+		Name: "restarted",
+		Fn: func(p predicate.PVT, env observation.Env) float64 {
+			dur := observation.TotalDuration{
+				Phase: observation.TruePhase,
+				Start: observation.StartExp(), End: observation.EndExp(),
+			}
+			if dur.Apply(p, env) > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+	accepted := out.Study("study1").AcceptedGlobals()
+	var perMachine []float64
+	var rates []float64
+	machineRates := map[string]float64{"black": 3, "green": 2, "yellow": 1}
+	for _, nick := range peers {
+		covMeasure, err := measure.NewStudyMeasure("coverage-"+nick,
+			measure.Triple{
+				Select: measure.Default{},
+				Pred:   predicate.MustParse("(" + nick + ", CRASH)"),
+				Obs:    observation.MustParse("total_duration(T, START_EXP, END_EXP)"),
+			},
+			measure.Triple{
+				Select: measure.Cmp{Op: measure.OpGT, Value: 0},
+				Pred:   predicate.MustParse("(" + nick + ", RESTART_SM)"),
+				Obs:    restarted,
+			},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		values := covMeasure.ApplyAll(accepted)
+		if len(values) == 0 {
+			continue // this machine never led and crashed
+		}
+		stats := loki.ComputeMoments(values)
+		fmt.Printf("\ncoverage of a %s error: %.3f over %d crash experiments", nick, stats.Mean(), stats.N)
+		perMachine = append(perMachine, stats.Mean())
+		rates = append(rates, machineRates[nick])
+	}
+	fmt.Println()
+	if len(perMachine) == 0 {
+		fmt.Println("no accepted experiments with a crash; cannot estimate coverage")
+		return
+	}
+
+	// Overall coverage combining the measured machines with their assumed
+	// fault occurrence rates (§5.8's w_b, w_g, w_y).
+	overall, err := loki.Coverage(perMachine, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stratified weighted overall coverage: %.3f\n", overall)
+}

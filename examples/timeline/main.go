@@ -1,0 +1,76 @@
+// Command timeline reproduces thesis Figure 4.2: it prints the §4.3.1
+// example global timeline, evaluates the three example predicates into
+// predicate value timelines, renders them as ASCII strips, and applies the
+// three example observation functions (count, duration, instant) to each.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/observation"
+	"repro/internal/predicate"
+	"repro/internal/timeline"
+	"repro/internal/vclock"
+)
+
+func main() {
+	g := predicate.Fig42Timeline()
+
+	fmt.Println("Global timeline (thesis §4.3.1):")
+	fmt.Printf("  %-14s %-8s %-8s %6s\n", "State Machine", "State", "Event", "ms")
+	for _, e := range g.Events {
+		if e.Kind != timeline.StateChange {
+			continue
+		}
+		fmt.Printf("  %-14s %-8s %-8s %6.1f\n", e.Machine, e.State, e.Event, e.Ref.Mid().Millis())
+	}
+
+	predicates := []string{
+		"((StateMachine1, State1, 10 < t < 20) | (StateMachine2, State2, 30 < t < 40))",
+		"((StateMachine3, State3, Event3, 10 < t < 30) | (StateMachine3, State4, Event4, 20 < t < 40))",
+		"((StateMachine5, State5, Event5) | (StateMachine6, State6, 10 < t < 40))",
+	}
+	observations := []string{
+		"count(U, B, 10, 35)",
+		"duration(T, 2, 10, 40)",
+		"instant(U, I, 2, 0, 50)",
+	}
+
+	for i, src := range predicates {
+		p := predicate.MustParse(src)
+		pvt := predicate.Evaluate(p, g)
+		fmt.Printf("\nPredicate %d: %s\n", i+1, src)
+		fmt.Printf("  timeline: %v\n", pvt)
+		fmt.Printf("  %s\n", strip(pvt, 0, 45))
+		for _, osrc := range observations {
+			f := observation.MustParse(osrc)
+			fmt.Printf("  %-28s = %g\n", osrc, f.Apply(pvt, observation.Env{}))
+		}
+	}
+	fmt.Println("\n(See EXPERIMENTS.md §F4.2 for the reconciliation with the thesis's printed values.)")
+}
+
+// strip renders a predicate value timeline as an ASCII strip chart over
+// [startMs, endMs] with 1 ms per character: '_' false, '#' step-true,
+// '|' impulse.
+func strip(p predicate.PVT, startMs, endMs int) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%2d ms ", startMs))
+	for ms := startMs; ms < endMs; ms++ {
+		lo := vclock.FromMillis(float64(ms))
+		hi := vclock.FromMillis(float64(ms + 1))
+		char := byte('_')
+		if p.TotalTrue(lo, hi) > 0 {
+			char = '#'
+		}
+		for _, imp := range p.Impulses() {
+			if imp >= lo && imp < hi {
+				char = '|'
+			}
+		}
+		b.WriteByte(char)
+	}
+	b.WriteString(fmt.Sprintf(" %d ms", endMs))
+	return b.String()
+}

@@ -1,0 +1,163 @@
+// Package analysis implements Loki's analysis phase (thesis §2.5, §5.7):
+// local timelines are projected through off-line clock synchronization
+// bounds onto a single global (reference) timeline, and every fault
+// injection is conservatively checked to have occurred in the intended
+// global state. Experiments with any unprovable injection are discarded —
+// the thesis's guarantee is that no experiment with an incorrect injection
+// is mistakenly deemed correct.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/clocksync"
+	"repro/internal/timeline"
+	"repro/internal/vclock"
+)
+
+// Interval is a conservative time interval on the reference timeline:
+// the true instant lies in [Lo, Hi].
+type Interval struct {
+	Lo, Hi vclock.Ticks
+}
+
+// Mid returns the interval midpoint, which Fig. 4.2 uses for display and
+// the measure phase uses as the event's nominal time.
+func (iv Interval) Mid() vclock.Ticks { return iv.Lo + (iv.Hi-iv.Lo)/2 }
+
+// Width returns Hi-Lo, the projection uncertainty.
+func (iv Interval) Width() vclock.Ticks { return iv.Hi - iv.Lo }
+
+// Contains reports whether t lies in the closed interval.
+func (iv Interval) Contains(t vclock.Ticks) bool { return iv.Lo <= t && t <= iv.Hi }
+
+// Within reports whether iv lies completely within outer — the §2.5
+// correctness criterion shape.
+func (iv Interval) Within(outer Interval) bool {
+	return outer.Lo <= iv.Lo && iv.Hi <= outer.Hi
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.3f, %.3f]ms", iv.Lo.Millis(), iv.Hi.Millis())
+}
+
+// Event is one row of the global timeline. For state changes, State is the
+// state entered (the "Begin State" column of the thesis's Fig. 4.2 global
+// timeline) and Event the local event that caused the transition; for
+// injections, Fault names the injected fault.
+type Event struct {
+	Machine string
+	Kind    timeline.Kind
+	State   string
+	Event   string
+	Fault   string
+	Host    string
+	// Local is the original local-clock reading.
+	Local vclock.Ticks
+	// Ref is the conservative reference-timeline interval for the event.
+	Ref Interval
+}
+
+// Global is the single global timeline of one experiment (§2.5).
+type Global struct {
+	// Reference is the host whose clock defines the timeline.
+	Reference string
+	// Events holds all machines' projected events, ordered by interval
+	// midpoint (ties broken by machine name for determinism).
+	Events []Event
+	// Machines lists the state machines present, sorted.
+	Machines []string
+}
+
+// Build projects every local timeline onto the reference timeline using the
+// per-host synchronization bounds. Every host appearing in any timeline
+// must have bounds; otherwise Build fails rather than guess.
+func Build(ref string, bounds map[string]clocksync.Bounds, locals []*timeline.Local) (*Global, error) {
+	g := &Global{Reference: ref}
+	seen := make(map[string]bool)
+	for _, l := range locals {
+		if l.Owner == "" {
+			return nil, fmt.Errorf("analysis: local timeline without owner")
+		}
+		if seen[l.Owner] {
+			return nil, fmt.Errorf("analysis: duplicate timeline for machine %q", l.Owner)
+		}
+		seen[l.Owner] = true
+		g.Machines = append(g.Machines, l.Owner)
+		for i, e := range l.Entries {
+			if e.Kind == timeline.HostChange || e.Kind == timeline.Note {
+				continue
+			}
+			if e.Host == "" {
+				return nil, fmt.Errorf("analysis: %s entry %d has no host attribution", l.Owner, i)
+			}
+			b, ok := bounds[e.Host]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no clock bounds for host %q (machine %s)", e.Host, l.Owner)
+			}
+			lo, hi := b.Project(e.Time)
+			g.Events = append(g.Events, Event{
+				Machine: l.Owner,
+				Kind:    e.Kind,
+				State:   e.NewState,
+				Event:   e.Event,
+				Fault:   e.Fault,
+				Host:    e.Host,
+				Local:   e.Time,
+				Ref:     Interval{Lo: lo, Hi: hi},
+			})
+		}
+	}
+	sort.Strings(g.Machines)
+	sort.SliceStable(g.Events, func(i, j int) bool {
+		mi, mj := g.Events[i].Ref.Mid(), g.Events[j].Ref.Mid()
+		if mi != mj {
+			return mi < mj
+		}
+		return g.Events[i].Machine < g.Events[j].Machine
+	})
+	return g, nil
+}
+
+// MachineEvents returns the events of one machine, in timeline order.
+func (g *Global) MachineEvents(machine string) []Event {
+	var out []Event
+	for _, e := range g.Events {
+		if e.Machine == machine {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Injections returns all fault injection events.
+func (g *Global) Injections() []Event {
+	var out []Event
+	for _, e := range g.Events {
+		if e.Kind == timeline.FaultInjection {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Span returns the [earliest Lo, latest Hi] over all events; ok is false
+// for an empty timeline. The measure macros START_EXP/END_EXP use this.
+func (g *Global) Span() (Interval, bool) {
+	if len(g.Events) == 0 {
+		return Interval{}, false
+	}
+	span := Interval{Lo: math.MaxInt64, Hi: math.MinInt64}
+	for _, e := range g.Events {
+		if e.Ref.Lo < span.Lo {
+			span.Lo = e.Ref.Lo
+		}
+		if e.Ref.Hi > span.Hi {
+			span.Hi = e.Ref.Hi
+		}
+	}
+	return span, true
+}

@@ -1,0 +1,309 @@
+// Package campaign orchestrates Loki's full evaluation pipeline (thesis
+// §2.3, Fig. 2.1): for each experiment of each study, the runtime phase
+// (with synchronization-message mini-phases before and after), then the
+// analysis phase (off-line clock synchronization, global timeline
+// construction, conservative injection checking, and discarding of
+// experiments with incorrect injections), leaving the accepted global
+// timelines ready for the measure estimation phase (internal/measure).
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/clocksync"
+	"repro/internal/core"
+	"repro/internal/faultexpr"
+	"repro/internal/spec"
+	"repro/internal/timeline"
+	"repro/internal/vclock"
+)
+
+// HostDef is one virtual host with its hidden clock error.
+type HostDef struct {
+	Name  string
+	Clock vclock.ClockConfig
+}
+
+// Study is one study of a campaign (§2.2.3): a set of node definitions
+// with their fault specifications, a node file for placement, and an
+// experiment count.
+type Study struct {
+	Name string
+	// Nodes defines every state machine that can run (§3.8).
+	Nodes []core.NodeDef
+	// Placement assigns auto-start nodes to hosts (the node file).
+	Placement []spec.NodeEntry
+	// Experiments is how many instances to run (default 1).
+	Experiments int
+	// Timeout aborts hung experiments (default 5 s).
+	Timeout time.Duration
+	// Restarts configures the supervisor that restarts crashed nodes
+	// during an experiment (nil: crashed nodes stay down).
+	Restarts *RestartPolicy
+}
+
+// Campaign is a full fault injection campaign (§2.2.3).
+type Campaign struct {
+	Name    string
+	Hosts   []HostDef
+	Studies []*Study
+	// Runtime tunes the core runtime (delays, watchdog). The Source field
+	// is overridden per campaign run.
+	Runtime core.Config
+	// Sync configures the clock synchronization mini-phases.
+	Sync SyncConfig
+	// Check configures the analysis-phase strictness.
+	Check analysis.CheckOptions
+}
+
+// ExperimentRecord is everything one experiment produced.
+type ExperimentRecord struct {
+	Study     string
+	Index     int
+	Completed bool // false: timed out and was aborted
+	Outcomes  map[string]string
+	Bounds    map[string]clocksync.Bounds
+	Global    *analysis.Global
+	Report    *analysis.Report
+	// Accepted experiments (completed, all injections provably correct)
+	// feed measure estimation (§2.6).
+	Accepted bool
+}
+
+// StudyResult aggregates a study's experiments.
+type StudyResult struct {
+	Name    string
+	Records []*ExperimentRecord
+}
+
+// AcceptedGlobals returns the global timelines of accepted experiments —
+// the input to measure.StudyMeasure.ApplyAll.
+func (s *StudyResult) AcceptedGlobals() []*analysis.Global {
+	var out []*analysis.Global
+	for _, r := range s.Records {
+		if r.Accepted {
+			out = append(out, r.Global)
+		}
+	}
+	return out
+}
+
+// AcceptanceRate is the fraction of experiments that survived analysis.
+func (s *StudyResult) AcceptanceRate() float64 {
+	if len(s.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range s.Records {
+		if r.Accepted {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Records))
+}
+
+// Result is a campaign's complete output.
+type Result struct {
+	Name    string
+	Studies []*StudyResult
+}
+
+// Study returns the named study's results, or nil.
+func (r *Result) Study(name string) *StudyResult {
+	for _, s := range r.Studies {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Run executes the campaign: every experiment of every study, runtime
+// phase through analysis phase.
+func Run(c *Campaign) (*Result, error) {
+	if len(c.Hosts) == 0 {
+		return nil, fmt.Errorf("campaign: no hosts defined")
+	}
+	if len(c.Studies) == 0 {
+		return nil, fmt.Errorf("campaign: no studies defined")
+	}
+	res := &Result{Name: c.Name}
+	for _, st := range c.Studies {
+		sr, err := runStudy(c, st)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: study %q: %w", st.Name, err)
+		}
+		res.Studies = append(res.Studies, sr)
+	}
+	return res, nil
+}
+
+// RunSingle executes exactly one experiment of the campaign's first study
+// and additionally returns the raw runtime artifacts: the stamped
+// synchronization messages of both mini-phases and the local timelines.
+// The file-oriented tools (cmd/lokid) use this to emit the §3.5.6 and
+// timestamp files that the rest of the pipeline consumes.
+func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
+	if len(c.Hosts) == 0 || len(c.Studies) == 0 {
+		return nil, nil, nil, fmt.Errorf("campaign: need hosts and a study")
+	}
+	st := c.Studies[0]
+	timeout := st.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	rtCfg := c.Runtime
+	rtCfg.Source = vclock.NewSystemSource()
+	rt := core.New(rtCfg)
+	defer rt.Shutdown()
+	for _, h := range c.Hosts {
+		rt.AddHost(h.Name, h.Clock)
+	}
+	for _, def := range st.Nodes {
+		if err := rt.Register(def); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	cd := core.NewCentralDaemon(rt)
+	ref := referenceHost(rt)
+
+	stamps := exchangeStamps(rt, ref, c.Sync)
+	var sup *supervisor
+	if st.Restarts != nil {
+		sup = startSupervisor(rt, *st.Restarts)
+	}
+	runRes, err := cd.RunExperiment(st.Placement, timeout)
+	if sup != nil {
+		sup.stop()
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stamps = append(stamps, exchangeStamps(rt, ref, c.Sync)...)
+
+	rec := &ExperimentRecord{Study: st.Name, Index: 0, Completed: runRes.Completed, Outcomes: runRes.Outcomes}
+	locals := snapshotTimelines(runRes.Timelines)
+	if rec.Completed {
+		bounds, err := clocksync.EstimateAll(stamps, ref)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rec.Bounds = bounds
+		g, err := analysis.Build(ref, bounds, locals)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rec.Global = g
+		rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(locals), c.Check)
+		rec.Accepted = rec.Report.Accepted
+	}
+	return rec, stamps, locals, nil
+}
+
+func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
+	experiments := st.Experiments
+	if experiments <= 0 {
+		experiments = 1
+	}
+	timeout := st.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+
+	// One runtime hosts the whole study; the central daemon resets it
+	// between experiments (§3.5.1).
+	rtCfg := c.Runtime
+	rtCfg.Source = vclock.NewSystemSource()
+	rt := core.New(rtCfg)
+	defer rt.Shutdown()
+	for _, h := range c.Hosts {
+		rt.AddHost(h.Name, h.Clock)
+	}
+	for _, def := range st.Nodes {
+		if err := rt.Register(def); err != nil {
+			return nil, err
+		}
+	}
+	cd := core.NewCentralDaemon(rt)
+	ref := referenceHost(rt)
+
+	sr := &StudyResult{Name: st.Name}
+	for i := 0; i < experiments; i++ {
+		rec, err := runExperiment(c, st, rt, cd, ref, i, timeout)
+		if err != nil {
+			return nil, err
+		}
+		sr.Records = append(sr.Records, rec)
+	}
+	return sr, nil
+}
+
+func runExperiment(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralDaemon,
+	ref string, index int, timeout time.Duration) (*ExperimentRecord, error) {
+
+	rec := &ExperimentRecord{Study: st.Name, Index: index}
+
+	// Pre-experiment synchronization mini-phase (§2.3).
+	stamps := exchangeStamps(rt, ref, c.Sync)
+
+	// Runtime phase, with the supervisor restarting crashed nodes if the
+	// study asks for it.
+	var sup *supervisor
+	if st.Restarts != nil {
+		sup = startSupervisor(rt, *st.Restarts)
+	}
+	runRes, err := cd.RunExperiment(st.Placement, timeout)
+	if sup != nil {
+		sup.stop()
+	}
+	if err != nil {
+		return nil, err
+	}
+	rec.Completed = runRes.Completed
+	rec.Outcomes = runRes.Outcomes
+
+	// Post-experiment synchronization mini-phase.
+	stamps = append(stamps, exchangeStamps(rt, ref, c.Sync)...)
+
+	if !rec.Completed {
+		// Aborted experiments are discarded outright (§3.5.1).
+		return rec, nil
+	}
+
+	// Analysis phase: off-line clock synchronization, projection,
+	// conservative checking (§2.5).
+	bounds, err := clocksync.EstimateAll(stamps, ref)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %d: clock sync: %w", index, err)
+	}
+	rec.Bounds = bounds
+
+	locals := snapshotTimelines(runRes.Timelines)
+	g, err := analysis.Build(ref, bounds, locals)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %d: global timeline: %w", index, err)
+	}
+	rec.Global = g
+	rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(locals), c.Check)
+	rec.Accepted = rec.Report.Accepted
+	return rec, nil
+}
+
+// snapshotTimelines deep-copies the store's timelines so later experiments
+// cannot alias them.
+func snapshotTimelines(in []*timeline.Local) []*timeline.Local {
+	out := make([]*timeline.Local, len(in))
+	for i, l := range in {
+		cp := *l
+		cp.Entries = append([]timeline.Entry(nil), l.Entries...)
+		cp.Machines = append([]string(nil), l.Machines...)
+		cp.GlobalStates = append([]string(nil), l.GlobalStates...)
+		cp.Events = append([]string(nil), l.Events...)
+		cp.Faults = append([]faultexpr.Spec(nil), l.Faults...)
+		cp.Hosts = append([]string(nil), l.Hosts...)
+		out[i] = &cp
+	}
+	return out
+}

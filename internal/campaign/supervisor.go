@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/timeline"
+)
+
+// RestartPolicy configures the supervisor that stands in for the "reliable
+// distributed system could restart it, possibly on a different host"
+// behaviour of §3.6.3.
+type RestartPolicy struct {
+	// After is the delay between observing a crash and restarting
+	// (default 5 ms).
+	After time.Duration
+	// MaxPerNode caps restarts per nickname per experiment (default 1).
+	MaxPerNode int
+	// Host, if non-empty, restarts crashed nodes on this host; otherwise
+	// each node restarts on the host it crashed on.
+	Host string
+	// Poll is the crash-scan interval (default 1 ms).
+	Poll time.Duration
+}
+
+func (p *RestartPolicy) setDefaults() {
+	if p.After <= 0 {
+		p.After = 5 * time.Millisecond
+	}
+	if p.MaxPerNode <= 0 {
+		p.MaxPerNode = 1
+	}
+	if p.Poll <= 0 {
+		p.Poll = time.Millisecond
+	}
+}
+
+type supervisor struct {
+	rt     *core.Runtime
+	policy RestartPolicy
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// startSupervisor watches for crashed nodes and restarts them per policy
+// until stopped.
+func startSupervisor(rt *core.Runtime, policy RestartPolicy) *supervisor {
+	policy.setDefaults()
+	s := &supervisor{rt: rt, policy: policy, stopCh: make(chan struct{})}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *supervisor) stop() {
+	close(s.stopCh)
+	s.wg.Wait()
+}
+
+func (s *supervisor) loop() {
+	defer s.wg.Done()
+	restarts := make(map[string]int)
+	crashSeen := make(map[string]time.Time)
+	ticker := time.NewTicker(s.policy.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+		}
+		for _, nick := range s.rt.TimelineNames() {
+			if s.rt.Node(nick) != nil || restarts[nick] >= s.policy.MaxPerNode {
+				continue
+			}
+			tl := s.rt.SnapshotTimeline(nick)
+			if tl == nil {
+				continue
+			}
+			last, ok := tl.LastState()
+			if !ok || last != spec.StateCrash {
+				continue
+			}
+			first, seen := crashSeen[nick]
+			if !seen {
+				crashSeen[nick] = time.Now()
+				continue
+			}
+			if time.Since(first) < s.policy.After {
+				continue
+			}
+			host := s.policy.Host
+			if host == "" {
+				host = lastHostOf(tl)
+			}
+			if host == "" {
+				continue
+			}
+			if _, err := s.rt.StartNode(nick, host); err == nil {
+				restarts[nick]++
+				delete(crashSeen, nick)
+			}
+		}
+	}
+}
+
+// lastHostOf finds the host a node most recently ran on, from its
+// timeline's host attributions.
+func lastHostOf(tl *timeline.Local) string {
+	for i := len(tl.Entries) - 1; i >= 0; i-- {
+		if tl.Entries[i].Host != "" {
+			return tl.Entries[i].Host
+		}
+	}
+	return ""
+}

@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"time"
+
+	"repro/internal/clocksync"
+	"repro/internal/core"
+)
+
+// SyncConfig controls the synchronization-message-passing mini-phases run
+// before and after each experiment (§2.3, §2.5).
+type SyncConfig struct {
+	// Messages is the number of round trips per (reference, host) pair
+	// (the getstamps <NumberOfSyncMsgs>; default 15).
+	Messages int
+	// Spacing is the wall-clock gap between round trips (default 200 µs).
+	Spacing time.Duration
+	// Transit is the simulated one-way wire time: the sender's timestamp
+	// is taken, the wire is waited out, then the receiver's (default
+	// 60 µs, a LAN-ish floor).
+	Transit time.Duration
+}
+
+func (c *SyncConfig) setDefaults() {
+	if c.Messages <= 0 {
+		c.Messages = 15
+	}
+	if c.Spacing <= 0 {
+		c.Spacing = 200 * time.Microsecond
+	}
+	if c.Transit <= 0 {
+		c.Transit = 60 * time.Microsecond
+	}
+}
+
+// exchangeStamps runs one live mini-phase over the runtime's virtual host
+// clocks: for every non-reference host, Messages round trips are timed.
+// Because all clocks derive from one monotonic base, waiting out the
+// transit guarantees the positive-delay property the convex-hull estimator
+// relies on, while the clocks' hidden offset and drift make the estimation
+// non-trivial — exactly the geometry of real hardware.
+func exchangeStamps(rt *core.Runtime, ref string, cfg SyncConfig) []clocksync.StampedMessage {
+	cfg.setDefaults()
+	refClock := rt.HostClock(ref)
+	var msgs []clocksync.StampedMessage
+	for _, host := range rt.Hosts() {
+		if host == ref {
+			continue
+		}
+		hostClock := rt.HostClock(host)
+		for i := 0; i < cfg.Messages; i++ {
+			// ref -> host
+			send := refClock.Now()
+			wait(cfg.Transit)
+			recv := hostClock.Now()
+			msgs = append(msgs, clocksync.StampedMessage{
+				SendHost: ref, RecvHost: host, SendTime: send, RecvTime: recv,
+			})
+			// host -> ref
+			send = hostClock.Now()
+			wait(cfg.Transit)
+			recv = refClock.Now()
+			msgs = append(msgs, clocksync.StampedMessage{
+				SendHost: host, RecvHost: ref, SendTime: send, RecvTime: recv,
+			})
+			wait(cfg.Spacing)
+		}
+	}
+	return msgs
+}
+
+// wait busy-sleeps for short durations: time.Sleep has ~ms granularity
+// under load, which would make sync phases needlessly slow.
+func wait(d time.Duration) {
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// referenceHost picks the reference machine: the first host in sorted
+// order, matching clocksync.ChooseReference's determinism. (The thesis
+// picks the fastest machine; virtual clocks tick at the same base rate.)
+func referenceHost(rt *core.Runtime) string {
+	hosts := rt.Hosts()
+	if len(hosts) == 0 {
+		return ""
+	}
+	return hosts[0]
+}

@@ -1,0 +1,192 @@
+// Package cli carries the shared plumbing of the command-line tools
+// (cmd/lokid, cmd/lokirun, ...): assembling studies of the built-in test
+// applications from the thesis's file formats, and reading/writing the
+// pipeline artifacts.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/clocksync"
+	"repro/internal/core"
+	"repro/internal/faultexpr"
+	"repro/internal/spec"
+	"repro/internal/timeline"
+
+	"repro/internal/apps/election"
+	"repro/internal/apps/replica"
+	"repro/internal/probe"
+	"repro/internal/vclock"
+)
+
+// MachineFault is one line of the tools' campaign fault file:
+//
+//	<machine> <faultName> <BooleanFaultExpression> <once|always>
+//
+// (the §3.5.5 fault specification prefixed with the owning machine, since
+// the tools keep one file per campaign rather than one per machine).
+type MachineFault struct {
+	Machine string
+	Spec    faultexpr.Spec
+}
+
+// ParseFaultFile parses the machine-prefixed fault specification format.
+func ParseFaultFile(doc string) ([]MachineFault, error) {
+	var out []MachineFault
+	for i, raw := range strings.Split(doc, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		machine, rest, found := strings.Cut(line, " ")
+		if !found {
+			return nil, fmt.Errorf("cli: fault file line %d: want '<machine> <name> <expr> <mode>'", i+1)
+		}
+		fs, ok, err := faultexpr.ParseSpecLine(rest)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("cli: fault file line %d: %v", i+1, err)
+		}
+		out = append(out, MachineFault{Machine: machine, Spec: fs})
+	}
+	return out, nil
+}
+
+// StudyOptions configures BuildStudy.
+type StudyOptions struct {
+	// App selects the built-in application: "election" or "replica".
+	App string
+	// Nodes is the node file content (§3.5.1): every machine, with hosts
+	// for the auto-started ones.
+	Nodes []spec.NodeEntry
+	// Faults holds the per-machine fault specifications.
+	Faults []MachineFault
+	// RunFor bounds each node's life.
+	RunFor time.Duration
+	// Dormancy is the fault-to-crash dormancy of injected crash faults.
+	Dormancy time.Duration
+	// Seed drives application randomness.
+	Seed int64
+	// Experiments is the experiment count.
+	Experiments int
+	// Timeout aborts hung experiments.
+	Timeout time.Duration
+	// Restart enables the crash-restart supervisor.
+	Restart bool
+}
+
+// BuildStudy assembles a campaign study of one of the built-in test
+// applications, with crash fault actions registered for every specified
+// fault.
+func BuildStudy(name string, o StudyOptions) (*campaign.Study, error) {
+	if len(o.Nodes) == 0 {
+		return nil, fmt.Errorf("cli: study needs nodes")
+	}
+	peers := make([]string, len(o.Nodes))
+	for i, n := range o.Nodes {
+		peers[i] = n.Nickname
+	}
+	if o.RunFor <= 0 {
+		o.RunFor = 150 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+
+	var defs []core.NodeDef
+	for i, nick := range peers {
+		var in *probe.Instrumented
+		var sm *spec.StateMachine
+		switch o.App {
+		case "", "election":
+			in = election.New(election.Config{
+				Peers:  peers,
+				RunFor: o.RunFor,
+				Seed:   o.Seed + int64(i)*17,
+			})
+			sm = election.SpecFor(nick, peers)
+		case "replica":
+			in = replica.New(replica.Config{
+				Peers:  peers,
+				RunFor: o.RunFor,
+			})
+			sm = replica.SpecFor(nick, peers)
+		default:
+			return nil, fmt.Errorf("cli: unknown app %q (want election or replica)", o.App)
+		}
+		var faults []faultexpr.Spec
+		for _, mf := range o.Faults {
+			if mf.Machine != nick {
+				continue
+			}
+			faults = append(faults, mf.Spec)
+			if o.Dormancy > 0 {
+				in.On(mf.Spec.Name, probe.DelayedCrashFault(o.Dormancy, o.Dormancy/5, o.Seed))
+			} else {
+				in.On(mf.Spec.Name, probe.CrashFault())
+			}
+		}
+		defs = append(defs, core.NodeDef{
+			Nickname: nick,
+			Spec:     sm,
+			Faults:   faults,
+			App:      in,
+		})
+	}
+	st := &campaign.Study{
+		Name:        name,
+		Nodes:       defs,
+		Placement:   o.Nodes,
+		Experiments: o.Experiments,
+		Timeout:     o.Timeout,
+	}
+	if o.Restart {
+		st.Restarts = &campaign.RestartPolicy{After: 5 * time.Millisecond, MaxPerNode: 1}
+	}
+	return st, nil
+}
+
+// HostsFor invents one virtual host per placement host named in nodes,
+// giving each a hidden clock error drawn from seed (offset within ±10 ms,
+// drift within ±100 ppm) — the testbed stand-in for real machines'
+// uncalibrated clocks.
+func HostsFor(nodes []spec.NodeEntry, seed int64) []campaign.HostDef {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out []campaign.HostDef
+	for _, n := range nodes {
+		if n.Host == "" || seen[n.Host] {
+			continue
+		}
+		seen[n.Host] = true
+		cfg := vclock.ClockConfig{
+			Offset:   vclock.Ticks(rng.Int63n(20e6)) - 10e6,
+			DriftPPM: float64(rng.Intn(200) - 100),
+		}
+		if len(out) == 0 {
+			cfg = vclock.ClockConfig{} // reference host keeps a clean clock
+		}
+		out = append(out, campaign.HostDef{Name: n.Host, Clock: cfg})
+	}
+	return out
+}
+
+// ReadFile loads a file or dies with a tool-style error message.
+func ReadFile(path, what string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("reading %s %q: %w", what, path, err)
+	}
+	return string(b), nil
+}
+
+// RunSingleExperiment runs exactly one experiment of the campaign's first
+// study, returning the record plus the raw timestamps and local timelines
+// for file emission.
+func RunSingleExperiment(c *campaign.Campaign) (*campaign.ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
+	return campaign.RunSingle(c)
+}

@@ -1,0 +1,142 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/faultexpr"
+	"repro/internal/spec"
+)
+
+func TestParseFaultFile(t *testing.T) {
+	doc := `
+# campaign faults
+black bfault1 (black:LEAD) once
+green gfault2 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) always
+`
+	faults, err := ParseFaultFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 {
+		t.Fatalf("faults = %d", len(faults))
+	}
+	if faults[0].Machine != "black" || faults[0].Spec.Name != "bfault1" {
+		t.Errorf("faults[0] = %+v", faults[0])
+	}
+	if faults[1].Machine != "green" || faults[1].Spec.Mode != faultexpr.Always {
+		t.Errorf("faults[1] = %+v", faults[1])
+	}
+}
+
+func TestParseFaultFileErrors(t *testing.T) {
+	for _, doc := range []string{"black", "black f1 (a:b) never", "black f1 ((a:b once"} {
+		if _, err := ParseFaultFile(doc); err == nil {
+			t.Errorf("accepted %q", doc)
+		}
+	}
+}
+
+func TestBuildStudyElection(t *testing.T) {
+	nodes := []spec.NodeEntry{
+		{Nickname: "black", Host: "h1"},
+		{Nickname: "green", Host: "h2"},
+	}
+	faults := []MachineFault{{
+		Machine: "black",
+		Spec:    faultexpr.Spec{Name: "f", Expr: faultexpr.MustParse("(black:LEAD)"), Mode: faultexpr.Once},
+	}}
+	st, err := BuildStudy("s", StudyOptions{
+		App: "election", Nodes: nodes, Faults: faults,
+		RunFor: 50 * time.Millisecond, Experiments: 1, Restart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != 2 || st.Restarts == nil {
+		t.Fatalf("study = %+v", st)
+	}
+	if len(st.Nodes[0].Faults) != 1 || len(st.Nodes[1].Faults) != 0 {
+		t.Errorf("fault assignment wrong: %+v", st.Nodes)
+	}
+}
+
+func TestBuildStudyErrors(t *testing.T) {
+	if _, err := BuildStudy("s", StudyOptions{}); err == nil {
+		t.Error("nodeless study accepted")
+	}
+	if _, err := BuildStudy("s", StudyOptions{
+		App:   "nosuch",
+		Nodes: []spec.NodeEntry{{Nickname: "a", Host: "h"}},
+	}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestHostsFor(t *testing.T) {
+	nodes := []spec.NodeEntry{
+		{Nickname: "a", Host: "h1"},
+		{Nickname: "b", Host: "h2"},
+		{Nickname: "c", Host: "h1"}, // duplicate host
+		{Nickname: "d"},             // no host
+	}
+	hosts := HostsFor(nodes, 42)
+	if len(hosts) != 2 {
+		t.Fatalf("hosts = %+v", hosts)
+	}
+	// The reference (first) host keeps a perfect clock.
+	if hosts[0].Clock.Offset != 0 || hosts[0].Clock.DriftPPM != 0 {
+		t.Errorf("reference clock not clean: %+v", hosts[0])
+	}
+}
+
+// TestRunSingleExperimentPipeline drives the lokid code path: one
+// experiment of a replica study producing stamps and local timelines.
+func TestRunSingleExperimentPipeline(t *testing.T) {
+	nodes := []spec.NodeEntry{
+		{Nickname: "r0", Host: "h1"},
+		{Nickname: "r1", Host: "h2"},
+	}
+	st, err := BuildStudy("s", StudyOptions{
+		App: "replica", Nodes: nodes,
+		RunFor: 40 * time.Millisecond, Experiments: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &campaign.Campaign{
+		Name:    "t",
+		Hosts:   HostsFor(nodes, 7),
+		Studies: []*campaign.Study{st},
+		Sync:    campaign.SyncConfig{Messages: 6, Transit: 20 * time.Microsecond},
+	}
+	rec, stamps, locals, err := RunSingleExperiment(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Completed {
+		t.Fatal("experiment did not complete")
+	}
+	if len(stamps) == 0 {
+		t.Error("no sync stamps")
+	}
+	if len(locals) != 2 {
+		t.Fatalf("locals = %d", len(locals))
+	}
+	for _, tl := range locals {
+		if err := tl.Validate(); err != nil {
+			t.Errorf("%s: %v", tl.Owner, err)
+		}
+	}
+	if rec.Global == nil || rec.Report == nil {
+		t.Error("analysis output missing")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	if _, err := ReadFile("/no/such/file", "thing"); err == nil || !strings.Contains(err.Error(), "thing") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package clocksync
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/vclock"
+)
+
+// This file defines the on-disk formats for the two artifacts the thesis's
+// analysis pipeline passes between tools (§5.6–5.7): the timestamps file
+// written by getstamps and read by alphabeta, and the alphabeta file written
+// by alphabeta and read by makeglobal. The thesis names the files but not
+// their grammar; the formats here are line-oriented to match the rest of
+// Loki's file formats.
+
+// EncodeTimestamps writes stamped messages, one per line:
+//
+//	<sendHost> <recvHost> <sendTicks> <recvTicks>
+func EncodeTimestamps(w io.Writer, msgs []StampedMessage) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range msgs {
+		fmt.Fprintf(bw, "%s %s %d %d\n", m.SendHost, m.RecvHost, int64(m.SendTime), int64(m.RecvTime))
+	}
+	return bw.Flush()
+}
+
+// DecodeTimestamps parses the timestamps file format.
+func DecodeTimestamps(r io.Reader) ([]StampedMessage, error) {
+	var out []StampedMessage
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("clocksync: timestamps line %d: want 4 fields, got %q", lineNo, line)
+		}
+		send, err1 := strconv.ParseInt(fields[2], 10, 64)
+		recv, err2 := strconv.ParseInt(fields[3], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("clocksync: timestamps line %d: bad ticks in %q", lineNo, line)
+		}
+		out = append(out, StampedMessage{
+			SendHost: fields[0], RecvHost: fields[1],
+			SendTime: vclock.Ticks(send), RecvTime: vclock.Ticks(recv),
+		})
+	}
+	return out, sc.Err()
+}
+
+// EncodeAlphaBeta writes per-host bounds relative to the named reference:
+//
+//	reference <host>
+//	<host> <alphaLo> <alphaHi> <betaLo> <betaHi>
+func EncodeAlphaBeta(w io.Writer, ref string, bounds map[string]Bounds) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "reference %s\n", ref)
+	hosts := make([]string, 0, len(bounds))
+	for h := range bounds {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		b := bounds[h]
+		fmt.Fprintf(bw, "%s %.17g %.17g %.17g %.17g\n", h, b.AlphaLo, b.AlphaHi, b.BetaLo, b.BetaHi)
+	}
+	return bw.Flush()
+}
+
+// DecodeAlphaBeta parses the alphabeta file format, returning the reference
+// host name and the per-host bounds.
+func DecodeAlphaBeta(r io.Reader) (ref string, bounds map[string]Bounds, err error) {
+	bounds = make(map[string]Bounds)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "reference" {
+			if len(fields) != 2 {
+				return "", nil, fmt.Errorf("clocksync: alphabeta line %d: bad reference line %q", lineNo, line)
+			}
+			ref = fields[1]
+			continue
+		}
+		if len(fields) != 5 {
+			return "", nil, fmt.Errorf("clocksync: alphabeta line %d: want 5 fields, got %q", lineNo, line)
+		}
+		var vals [4]float64
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("clocksync: alphabeta line %d: bad number %q", lineNo, fields[i+1])
+			}
+			vals[i] = v
+		}
+		bounds[fields[0]] = Bounds{AlphaLo: vals[0], AlphaHi: vals[1], BetaLo: vals[2], BetaHi: vals[3]}
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, err
+	}
+	if ref == "" {
+		return "", nil, fmt.Errorf("clocksync: alphabeta file missing reference line")
+	}
+	return ref, bounds, nil
+}

@@ -1,0 +1,172 @@
+package clocksync
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// StampedMessage is one raw synchronization message as written to the
+// timestamps file by the getstamps step (§5.6): who sent, who received, and
+// the local-clock readings at each end.
+type StampedMessage struct {
+	SendHost string
+	RecvHost string
+	SendTime vclock.Ticks // reading of SendHost's clock at transmission
+	RecvTime vclock.Ticks // reading of RecvHost's clock at reception
+}
+
+// SamplesFor filters raw messages down to the Sample set relating remote to
+// the reference machine ref. Messages between other host pairs are ignored.
+func SamplesFor(msgs []StampedMessage, ref, remote string) []Sample {
+	var out []Sample
+	for _, m := range msgs {
+		switch {
+		case m.SendHost == ref && m.RecvHost == remote:
+			out = append(out, Sample{Dir: RefToRemote, Ref: m.SendTime, Remote: m.RecvTime})
+		case m.SendHost == remote && m.RecvHost == ref:
+			out = append(out, Sample{Dir: RemoteToRef, Ref: m.RecvTime, Remote: m.SendTime})
+		}
+	}
+	return out
+}
+
+// Hosts returns the sorted set of hosts appearing in msgs.
+func Hosts(msgs []StampedMessage) []string {
+	set := make(map[string]bool)
+	for _, m := range msgs {
+		set[m.SendHost] = true
+		set[m.RecvHost] = true
+	}
+	out := make([]string, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EstimateAll computes per-host bounds relative to ref from a raw message
+// set. The reference maps to the exact Identity bounds. Hosts with no
+// usable messages yield an error.
+func EstimateAll(msgs []StampedMessage, ref string) (map[string]Bounds, error) {
+	out := make(map[string]Bounds)
+	for _, h := range Hosts(msgs) {
+		if h == ref {
+			out[h] = Identity()
+			continue
+		}
+		b, err := Estimate(SamplesFor(msgs, ref, h))
+		if err != nil {
+			return nil, fmt.Errorf("clocksync: host %q vs reference %q: %w", h, ref, err)
+		}
+		out[h] = b
+	}
+	if _, ok := out[ref]; !ok {
+		out[ref] = Identity()
+	}
+	return out, nil
+}
+
+// ExchangeConfig controls a simulated synchronization mini-phase.
+type ExchangeConfig struct {
+	// Count is the number of round trips per host pair (default 20; the
+	// getstamps tool takes this as <NumberOfSyncMsgs>).
+	Count int
+	// Spacing is the virtual time between successive messages (default
+	// 1 ms; <TimeBetweenSyncMsgs>).
+	Spacing vclock.Ticks
+}
+
+func (c *ExchangeConfig) setDefaults() {
+	if c.Count <= 0 {
+		c.Count = 20
+	}
+	if c.Spacing <= 0 {
+		c.Spacing = vclock.FromMillis(1)
+	}
+}
+
+// Exchange runs one synchronization mini-phase over a simulated network:
+// every non-reference host exchanges Count round trips with ref. It
+// schedules its messages starting at the network's current virtual time and
+// runs the simulation to completion, returning the raw stamped messages.
+//
+// This is the reproduction of the thesis's getstamps step; on the simulated
+// testbed the "hardware clocks" are the hosts' hidden-error vclocks, so the
+// returned stamps exercise exactly the geometry the convex-hull estimator
+// consumes.
+func Exchange(net *simnet.Network, ref string, cfg ExchangeConfig) ([]StampedMessage, error) {
+	cfg.setDefaults()
+	sim := net.Sim()
+	refHost := net.Host(ref)
+	if refHost == nil {
+		return nil, fmt.Errorf("clocksync: unknown reference host %q", ref)
+	}
+	var msgs []StampedMessage
+
+	const ep = "clocksync"
+	// Bind a ponger on every host: it replies to "ping" with "pong",
+	// recording timestamps at each end from the local clocks.
+	for _, name := range net.Hosts() {
+		host := net.Host(name)
+		hostName := name
+		host.Bind(ep, func(m simnet.Message) {
+			p := m.Payload.(*pingPayload)
+			recvClock := net.Host(hostName).Clock()
+			if p.isPing {
+				msgs = append(msgs, StampedMessage{
+					SendHost: m.From.Host, RecvHost: hostName,
+					SendTime: p.sentLocal, RecvTime: recvClock.Now(),
+				})
+				net.Send(simnet.Address{Host: hostName, Name: ep}, m.From,
+					&pingPayload{isPing: false, sentLocal: recvClock.Now()})
+				return
+			}
+			msgs = append(msgs, StampedMessage{
+				SendHost: m.From.Host, RecvHost: hostName,
+				SendTime: p.sentLocal, RecvTime: recvClock.Now(),
+			})
+		})
+	}
+
+	for _, name := range net.Hosts() {
+		if name == ref {
+			continue
+		}
+		remote := name
+		for i := 0; i < cfg.Count; i++ {
+			at := sim.Now() + vclock.Ticks(i)*cfg.Spacing
+			sim.At(at, func() {
+				net.Send(simnet.Address{Host: ref, Name: ep},
+					simnet.Address{Host: remote, Name: ep},
+					&pingPayload{isPing: true, sentLocal: refHost.Clock().Now()})
+			})
+		}
+	}
+	sim.Run()
+	for _, name := range net.Hosts() {
+		net.Host(name).Unbind(ep)
+	}
+	return msgs, nil
+}
+
+type pingPayload struct {
+	isPing    bool
+	sentLocal vclock.Ticks
+}
+
+// ChooseReference picks the reference machine from raw messages: the thesis
+// uses the fastest machine so projections never lose precision (§5.7). With
+// equal-rate virtual clocks we pick the lexicographically first host, which
+// is deterministic; callers with rate knowledge can pass their own choice
+// to EstimateAll instead.
+func ChooseReference(msgs []StampedMessage) (string, error) {
+	hosts := Hosts(msgs)
+	if len(hosts) == 0 {
+		return "", fmt.Errorf("clocksync: no hosts in timestamp set")
+	}
+	return hosts[0], nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// AppMessage is an application-level message between nodes. The system
+// under study needs its own communication channel — Loki's notification
+// LAN is deliberately separate (§2.4 notes the runtime "can use a LAN
+// separate from the one used by the system") — so the reproduction provides
+// this bus in place of the application's own sockets.
+type AppMessage struct {
+	From    string
+	Payload interface{}
+}
+
+const inboxCapacity = 256
+
+// Send delivers a payload to another node's application inbox. It reports
+// false when the destination is not a live node or its inbox is full —
+// datagram semantics: the distributed system under study must tolerate
+// loss, that is the point of injecting faults into it.
+func (h *Handle) Send(to string, payload interface{}) bool {
+	h.node.touch()
+	target := h.node.rt.Node(to)
+	if target == nil {
+		return false
+	}
+	inbox := target.handle.inboxChan()
+	select {
+	case inbox <- AppMessage{From: h.Nickname(), Payload: payload}:
+		return true
+	default:
+		h.node.rt.cfg.Logf("core: app inbox of %s full; dropping message from %s", to, h.Nickname())
+		return false
+	}
+}
+
+// Broadcast sends a payload to every other live node, returning how many
+// accepted it.
+func (h *Handle) Broadcast(payload interface{}) int {
+	n := 0
+	for _, nick := range h.node.rt.LiveNodes() {
+		if nick == h.Nickname() {
+			continue
+		}
+		if h.Send(nick, payload) {
+			n++
+		}
+	}
+	return n
+}
+
+// Inbox returns the node's application message channel. Messages sent to a
+// crashed node stay undelivered; after restart a node begins with an empty
+// inbox, like a rebooted process.
+func (h *Handle) Inbox() <-chan AppMessage { return h.inboxChan() }
+
+// WaitMessage receives the next application message, giving up after
+// timeout or when the node is stopped.
+func (h *Handle) WaitMessage(timeout time.Duration) (AppMessage, bool) {
+	h.node.touch()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m := <-h.inboxChan():
+		h.node.touch()
+		return m, true
+	case <-timer.C:
+		return AppMessage{}, false
+	case <-h.node.done:
+		return AppMessage{}, false
+	}
+}
+
+func (h *Handle) inboxChan() chan AppMessage {
+	h.busMu.Lock()
+	defer h.busMu.Unlock()
+	if h.inbox == nil {
+		h.inbox = make(chan AppMessage, inboxCapacity)
+	}
+	return h.inbox
+}
+
+// String implements fmt.Stringer.
+func (h *Handle) String() string {
+	return fmt.Sprintf("Handle(%s on %s)", h.Nickname(), h.HostName())
+}

@@ -1,0 +1,162 @@
+// Package faultexpr implements Loki's Boolean fault expression language
+// (thesis §3.5.5).
+//
+// A fault specification entry is
+//
+//	<FaultName> <BooleanFaultExpression> <once|always>
+//
+// where the expression combines (StateMachine:State) atoms with AND ('&'),
+// OR ('|'), and NOT ('~') operators and parentheses. The fault parser is
+// positive-edge-triggered: a fault fires when its expression transitions
+// from false to true as a result of a change in the partial view of global
+// state. A "once" fault fires at most once per experiment; an "always" fault
+// fires on every such transition.
+package faultexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode says whether a fault fires on the first satisfying transition only or
+// on every one.
+type Mode int
+
+// Fault trigger modes (§3.5.5).
+const (
+	Once Mode = iota + 1
+	Always
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Once:
+		return "once"
+	case Always:
+		return "always"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses "once" or "always" (case-insensitive).
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "once":
+		return Once, nil
+	case "always":
+		return Always, nil
+	default:
+		return 0, fmt.Errorf("faultexpr: invalid mode %q (want once or always)", s)
+	}
+}
+
+// View is the evaluation context for an expression: the evaluator's partial
+// view of global state, mapping each state machine to its believed state.
+type View interface {
+	// StateOf returns the believed state of the named state machine, and
+	// whether any state is known for it. Atoms over unknown machines
+	// evaluate to false: before the first notification arrives a node
+	// cannot justify an injection.
+	StateOf(machine string) (state string, ok bool)
+}
+
+// MapView is a View backed by a map, convenient for tests and the analyzer.
+type MapView map[string]string
+
+// StateOf implements View.
+func (m MapView) StateOf(machine string) (string, bool) {
+	s, ok := m[machine]
+	return s, ok
+}
+
+// Expr is a parsed Boolean fault expression.
+type Expr interface {
+	// Eval evaluates the expression against a view of global state.
+	Eval(v View) bool
+	// String renders the expression in the thesis's source syntax.
+	String() string
+	// Atoms appends every (machine, state) atom in the expression to dst
+	// and returns it. The runtime uses this to derive which remote
+	// machines' states a node must track (its partial view).
+	Atoms(dst []Atom) []Atom
+}
+
+// Atom is the leaf (StateMachine:State) form.
+type Atom struct {
+	Machine string
+	State   string
+}
+
+// Eval implements Expr.
+func (a Atom) Eval(v View) bool {
+	s, ok := v.StateOf(a.Machine)
+	return ok && s == a.State
+}
+
+// String implements Expr.
+func (a Atom) String() string { return "(" + a.Machine + ":" + a.State + ")" }
+
+// Atoms implements Expr.
+func (a Atom) Atoms(dst []Atom) []Atom { return append(dst, a) }
+
+// Not negates its operand.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(v View) bool { return !n.X.Eval(v) }
+
+// String implements Expr.
+func (n Not) String() string { return "~" + n.X.String() }
+
+// Atoms implements Expr.
+func (n Not) Atoms(dst []Atom) []Atom { return n.X.Atoms(dst) }
+
+// And is conjunction.
+type And struct{ L, R Expr }
+
+// Eval implements Expr.
+func (a And) Eval(v View) bool { return a.L.Eval(v) && a.R.Eval(v) }
+
+// String implements Expr.
+func (a And) String() string { return "(" + a.L.String() + " & " + a.R.String() + ")" }
+
+// Atoms implements Expr.
+func (a And) Atoms(dst []Atom) []Atom { return a.R.Atoms(a.L.Atoms(dst)) }
+
+// Or is disjunction.
+type Or struct{ L, R Expr }
+
+// Eval implements Expr.
+func (o Or) Eval(v View) bool { return o.L.Eval(v) || o.R.Eval(v) }
+
+// String implements Expr.
+func (o Or) String() string { return "(" + o.L.String() + " | " + o.R.String() + ")" }
+
+// Atoms implements Expr.
+func (o Or) Atoms(dst []Atom) []Atom { return o.R.Atoms(o.L.Atoms(dst)) }
+
+// Machines returns the sorted, de-duplicated set of state machine names an
+// expression references.
+func Machines(e Expr) []string {
+	atoms := e.Atoms(nil)
+	seen := make(map[string]bool, len(atoms))
+	var out []string
+	for _, a := range atoms {
+		if !seen[a.Machine] {
+			seen[a.Machine] = true
+			out = append(out, a.Machine)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package faultexpr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a Boolean fault expression in the thesis's syntax:
+//
+//	expr   := term { '|' term }
+//	term   := factor { '&' factor }
+//	factor := '~' factor | '(' expr ')' | '(' name ':' name ')'
+//
+// NOT binds tightest, then AND, then OR, as in the thesis's example
+// "((SM1:ELECT) & (SM2:FOLLOW))". A parenthesized group containing a colon
+// at its top level is an atom; otherwise it is grouping.
+func Parse(input string) (Expr, error) {
+	p := &parser{src: input}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; for tests and constant specs.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("faultexpr: at offset %d of %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '&' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	p.skipSpace()
+	switch p.peek() {
+	case 0:
+		return nil, p.errorf("unexpected end of expression")
+	case '~', '!': // accept '!' as a NOT alias
+		p.pos++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	case '(':
+		return p.parseGroupOrAtom()
+	default:
+		// Bare MACHINE:STATE atom without parentheses, for convenience.
+		return p.parseBareAtom()
+	}
+}
+
+// parseGroupOrAtom handles '(' ... ')': either an atom "(SM:STATE)" or a
+// grouped subexpression "((A:B) & (C:D))".
+func (p *parser) parseGroupOrAtom() (Expr, error) {
+	open := p.pos
+	p.pos++ // consume '('
+	p.skipSpace()
+	// Try an atom first: name ':' name ')'.
+	if name, ok := p.tryName(); ok {
+		p.skipSpace()
+		if p.peek() == ':' {
+			p.pos++
+			p.skipSpace()
+			state, ok := p.tryName()
+			if !ok {
+				return nil, p.errorf("expected state name after %q:", name)
+			}
+			p.skipSpace()
+			if p.peek() != ')' {
+				return nil, p.errorf("expected ')' after atom %s:%s", name, state)
+			}
+			p.pos++
+			return Atom{Machine: name, State: state}, nil
+		}
+		// Not an atom; rewind and parse as a grouped expression.
+		p.pos = open + 1
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return nil, p.errorf("expected ')' to close group opened at offset %d", open)
+	}
+	p.pos++
+	return e, nil
+}
+
+func (p *parser) parseBareAtom() (Expr, error) {
+	name, ok := p.tryName()
+	if !ok {
+		return nil, p.errorf("expected '(', '~', or a state machine name")
+	}
+	p.skipSpace()
+	if p.peek() != ':' {
+		return nil, p.errorf("expected ':' after machine name %q", name)
+	}
+	p.pos++
+	p.skipSpace()
+	state, ok := p.tryName()
+	if !ok {
+		return nil, p.errorf("expected state name after %q:", name)
+	}
+	return Atom{Machine: name, State: state}, nil
+}
+
+// tryName consumes an identifier (letters, digits, '_', '-', '.') and
+// reports whether one was present.
+func (p *parser) tryName() (string, bool) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", false
+	}
+	return p.src[start:p.pos], true
+}
+
+// Spec is one parsed fault specification entry (§3.5.5):
+//
+//	<FaultName> <BooleanFaultExpression> <once|always>
+type Spec struct {
+	Name string
+	Expr Expr
+	Mode Mode
+}
+
+// ParseSpecLine parses a single fault specification line. Blank lines and
+// lines starting with '#' yield (zero Spec, false, nil).
+func ParseSpecLine(line string) (Spec, bool, error) {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+		return Spec{}, false, nil
+	}
+	name, rest, ok := cutField(trimmed)
+	if !ok {
+		return Spec{}, false, fmt.Errorf("faultexpr: fault line %q: missing expression", line)
+	}
+	// The mode is the final whitespace-separated field.
+	lastSpace := strings.LastIndexFunc(rest, unicode.IsSpace)
+	if lastSpace < 0 {
+		return Spec{}, false, fmt.Errorf("faultexpr: fault line %q: missing once|always", line)
+	}
+	exprSrc := strings.TrimSpace(rest[:lastSpace])
+	modeSrc := strings.TrimSpace(rest[lastSpace:])
+	mode, err := ParseMode(modeSrc)
+	if err != nil {
+		return Spec{}, false, fmt.Errorf("faultexpr: fault line %q: %v", line, err)
+	}
+	expr, err := Parse(exprSrc)
+	if err != nil {
+		return Spec{}, false, err
+	}
+	return Spec{Name: name, Expr: expr, Mode: mode}, true, nil
+}
+
+// ParseSpecs parses a full fault specification document, one entry per line.
+func ParseSpecs(doc string) ([]Spec, error) {
+	var specs []Spec
+	for i, line := range strings.Split(doc, "\n") {
+		s, ok, err := ParseSpecLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		if ok {
+			specs = append(specs, s)
+		}
+	}
+	return specs, nil
+}
+
+// String renders the spec in its file syntax.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s %s %s", s.Name, s.Expr, s.Mode)
+}
+
+func cutField(s string) (field, rest string, ok bool) {
+	i := strings.IndexFunc(s, unicode.IsSpace)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], strings.TrimSpace(s[i:]), true
+}

@@ -1,0 +1,98 @@
+package faultexpr
+
+// Trigger implements the fault parser's positive-edge semantics for one
+// fault (§3.5.5): it remembers the expression's previous value and reports a
+// firing only when the value transitions from false to true, subject to the
+// once/always mode.
+//
+// Trigger is not safe for concurrent use; the runtime serializes view
+// changes per node, as the thesis's fault parser does.
+type Trigger struct {
+	spec  Spec
+	prev  bool
+	fired bool
+}
+
+// NewTrigger returns a trigger for spec. The previous value starts false, so
+// an expression that is true in the very first observed view fires
+// immediately — matching the thesis, where the initial global state is
+// entered "from" no state at all.
+func NewTrigger(spec Spec) *Trigger { return &Trigger{spec: spec} }
+
+// Spec returns the fault specification this trigger watches.
+func (t *Trigger) Spec() Spec { return t.spec }
+
+// Observe evaluates the expression against the new view and reports whether
+// the fault should be injected now.
+func (t *Trigger) Observe(v View) bool {
+	cur := t.spec.Expr.Eval(v)
+	edge := cur && !t.prev
+	t.prev = cur
+	if !edge {
+		return false
+	}
+	if t.spec.Mode == Once {
+		if t.fired {
+			return false
+		}
+		t.fired = true
+	}
+	return true
+}
+
+// Reset restores the trigger to its start-of-experiment state.
+func (t *Trigger) Reset() { t.prev, t.fired = false, false }
+
+// Fired reports whether a Once trigger has consumed its single firing.
+func (t *Trigger) Fired() bool { return t.fired }
+
+// TriggerSet evaluates a collection of triggers against each view change,
+// in specification order, and returns the names of faults to inject.
+type TriggerSet struct {
+	triggers []*Trigger
+}
+
+// NewTriggerSet builds a set from specs, preserving order.
+func NewTriggerSet(specs []Spec) *TriggerSet {
+	ts := &TriggerSet{triggers: make([]*Trigger, len(specs))}
+	for i, s := range specs {
+		ts.triggers[i] = NewTrigger(s)
+	}
+	return ts
+}
+
+// Observe feeds a new view to every trigger and returns the specs that fired,
+// in specification order.
+func (ts *TriggerSet) Observe(v View) []Spec {
+	var fired []Spec
+	for _, t := range ts.triggers {
+		if t.Observe(v) {
+			fired = append(fired, t.Spec())
+		}
+	}
+	return fired
+}
+
+// Reset restores every trigger to its start-of-experiment state.
+func (ts *TriggerSet) Reset() {
+	for _, t := range ts.triggers {
+		t.Reset()
+	}
+}
+
+// Machines returns the sorted union of machines referenced by any trigger.
+// The runtime uses this to compute the notify lists a study needs (§5.3).
+func (ts *TriggerSet) Machines() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range ts.triggers {
+		for _, m := range Machines(t.spec.Expr) {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sortStrings(out)
+	return out
+}

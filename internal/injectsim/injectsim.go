@@ -1,0 +1,163 @@
+// Package injectsim reproduces the thesis's runtime performance analysis
+// (§3.2.2, Figures 3.2 and 3.3): the probability that Loki injects a fault
+// in the intended global state, as a function of how long the application
+// stays in that state, for 10 ms and 1 ms Linux scheduler timeslices.
+//
+// The experiment is the notification race at Loki's heart: machine A enters
+// the trigger state and a notification travels to machine B, whose fault
+// parser fires the injection on arrival; the injection is correct iff A is
+// still in the state. The thesis's measurement showed the delay is
+// dominated not by the wire but by OS context-switch waits quantized by the
+// scheduler timeslice — injections become reliably correct once residence
+// exceeds "a couple of OS timeslices". The original hardware (Linux 2.2
+// boxes on a LAN) is replaced by a discrete-event simulation whose latency
+// model has exactly those two components (wire time + timeslice-quantized
+// scheduling wait).
+package injectsim
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes one sweep.
+type Config struct {
+	// Timeslice is the OS scheduling quantum (10 ms in Fig 3.2, 1 ms in
+	// Fig 3.3).
+	Timeslice vclock.Ticks
+	// Wire is the raw network-plus-kernel path time (the thesis measures
+	// ~150 µs for TCP on its LAN).
+	Wire vclock.Ticks
+	// PReady is the probability the receiving runtime is already
+	// scheduled when the notification arrives, so no quantum wait occurs.
+	PReady float64
+	// Runnable is the number of competing runnable processes on the
+	// receiving host.
+	Runnable int
+	// Trials is the number of simulated injections per residence value.
+	Trials int
+	// Seed makes sweeps reproducible.
+	Seed int64
+}
+
+// Fig32Config models Figure 3.2 (10 ms timeslice).
+func Fig32Config() Config {
+	return Config{
+		Timeslice: vclock.FromMillis(10),
+		Wire:      150_000, // 150 µs
+		PReady:    0.35,
+		Runnable:  1,
+		Trials:    4000,
+		Seed:      1,
+	}
+}
+
+// Fig33Config models Figure 3.3 (1 ms timeslice).
+func Fig33Config() Config {
+	c := Fig32Config()
+	c.Timeslice = vclock.FromMillis(1)
+	c.Seed = 2
+	return c
+}
+
+// Fig32Residences is the time-in-state sweep for the 10 ms figure.
+func Fig32Residences() []float64 {
+	return []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100}
+}
+
+// Fig33Residences is the time-in-state sweep for the 1 ms figure.
+func Fig33Residences() []float64 {
+	return []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1, 1.5, 2, 2.5, 3, 4, 5, 7, 10}
+}
+
+// Point is one sweep sample: the residence time and the fraction of
+// injections that were correct.
+type Point struct {
+	ResidenceMs float64
+	PCorrect    float64
+	Trials      int
+}
+
+// String formats the point as a figure data row.
+func (p Point) String() string {
+	return fmt.Sprintf("%8.2f ms  %6.4f  (n=%d)", p.ResidenceMs, p.PCorrect, p.Trials)
+}
+
+// Sweep runs the race experiment for each residence time (milliseconds)
+// and returns the measured correct-injection probabilities.
+//
+// Each trial is simulated on a two-host simnet: host A's node enters the
+// trigger state at a trial-specific virtual time and leaves after the
+// residence time; the state notification crosses a link whose latency is
+// the Timesliced model; host B injects on delivery. The injection is
+// correct iff it lands within A's true occupancy window — ground truth the
+// simulator knows exactly (on the real testbed the thesis needed the whole
+// analysis phase to decide this).
+func Sweep(cfg Config, residencesMs []float64) []Point {
+	points := make([]Point, 0, len(residencesMs))
+	for i, res := range residencesMs {
+		points = append(points, runResidence(cfg, res, cfg.Seed+int64(i)*7919))
+	}
+	return points
+}
+
+func runResidence(cfg Config, residenceMs float64, seed int64) Point {
+	sim := simnet.NewSim(seed)
+	net := simnet.NewNetwork(sim, simnet.NetworkConfig{
+		Remote: simnet.Timesliced{
+			Wire:      cfg.Wire,
+			Timeslice: cfg.Timeslice,
+			PReady:    cfg.PReady,
+			Runnable:  cfg.Runnable,
+		},
+	})
+	net.AddHost("a", vclock.ClockConfig{})
+	net.AddHost("b", vclock.ClockConfig{})
+
+	residence := vclock.FromMillis(residenceMs)
+	// Trials are spaced far apart so they are independent.
+	gap := residence + cfg.Timeslice*4 + vclock.FromMillis(1)
+
+	correct := 0
+	type window struct{ enter, exit vclock.Ticks }
+	windows := make([]window, cfg.Trials)
+
+	net.Host("b").Bind("injector", func(m simnet.Message) {
+		trial := m.Payload.(int)
+		w := windows[trial]
+		at := sim.Now() // B injects immediately on notification delivery
+		if at >= w.enter && at < w.exit {
+			correct++
+		}
+	})
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		trial := trial
+		enter := vclock.Ticks(trial) * gap
+		windows[trial] = window{enter: enter, exit: enter + residence}
+		sim.At(enter, func() {
+			net.Send(simnet.Address{Host: "a", Name: "sm"},
+				simnet.Address{Host: "b", Name: "injector"}, trial)
+		})
+	}
+	sim.Run()
+	return Point{
+		ResidenceMs: residenceMs,
+		PCorrect:    float64(correct) / float64(cfg.Trials),
+		Trials:      cfg.Trials,
+	}
+}
+
+// CrossoverMs returns the smallest sampled residence with PCorrect >= level
+// (e.g. 0.95), or -1 when never reached — the "couple of timeslices" claim
+// is CrossoverMs(points, 0.95) <= 2-3 timeslices.
+func CrossoverMs(points []Point, level float64) float64 {
+	for _, p := range points {
+		if p.PCorrect >= level {
+			return p.ResidenceMs
+		}
+	}
+	return -1
+}

@@ -1,0 +1,111 @@
+package injectsim
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestSweepMonotonicallyImproves(t *testing.T) {
+	cfg := Fig32Config()
+	cfg.Trials = 1500
+	points := Sweep(cfg, Fig32Residences())
+	if len(points) != len(Fig32Residences()) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Allow small Monte-Carlo wiggle but require the broad trend.
+	for i := 1; i < len(points); i++ {
+		if points[i].PCorrect < points[i-1].PCorrect-0.05 {
+			t.Errorf("accuracy regressed: %v -> %v", points[i-1], points[i])
+		}
+	}
+}
+
+// TestFig32Shape verifies the thesis's qualitative claims for the 10 ms
+// timeslice: sub-millisecond residences mostly fail, and residences beyond
+// a couple of timeslices nearly always succeed.
+func TestFig32Shape(t *testing.T) {
+	cfg := Fig32Config()
+	cfg.Trials = 3000
+	points := Sweep(cfg, Fig32Residences())
+	byRes := map[float64]Point{}
+	for _, p := range points {
+		byRes[p.ResidenceMs] = p
+	}
+	if p := byRes[0.1]; p.PCorrect > 0.6 {
+		t.Errorf("0.1 ms residence too accurate: %v", p)
+	}
+	if p := byRes[50]; p.PCorrect < 0.95 {
+		t.Errorf("50 ms residence not reliable: %v", p)
+	}
+	cross := CrossoverMs(points, 0.95)
+	if cross <= 0 || cross > 30 {
+		t.Errorf("95%% crossover at %v ms, want within ~3 timeslices", cross)
+	}
+}
+
+// TestFig33ShiftsLeft verifies that shrinking the timeslice 10x shifts the
+// reliability crossover left by roughly the same factor (the thesis's
+// motivation for measuring both).
+func TestFig33ShiftsLeft(t *testing.T) {
+	c32, c33 := Fig32Config(), Fig33Config()
+	c32.Trials, c33.Trials = 3000, 3000
+	cross32 := CrossoverMs(Sweep(c32, Fig32Residences()), 0.95)
+	cross33 := CrossoverMs(Sweep(c33, Fig33Residences()), 0.95)
+	if cross33 <= 0 || cross32 <= 0 {
+		t.Fatalf("crossovers: %v, %v", cross32, cross33)
+	}
+	if cross33 >= cross32 {
+		t.Errorf("1 ms timeslice crossover (%v) not left of 10 ms (%v)", cross33, cross32)
+	}
+	if cross33 > 3.5 {
+		t.Errorf("1 ms crossover %v ms, want within ~3 timeslices", cross33)
+	}
+}
+
+func TestWireFloorDominatesTinyResidence(t *testing.T) {
+	// With PReady=1 the only delay is the wire: residences below the wire
+	// always fail, above it always succeed.
+	cfg := Config{
+		Timeslice: vclock.FromMillis(10),
+		Wire:      150_000,
+		PReady:    1,
+		Trials:    500,
+		Seed:      3,
+	}
+	points := Sweep(cfg, []float64{0.1, 0.2, 1})
+	if points[0].PCorrect != 0 {
+		t.Errorf("0.1 ms (< wire 0.15 ms) should always fail: %v", points[0])
+	}
+	if points[1].PCorrect != 1 || points[2].PCorrect != 1 {
+		t.Errorf("residences above the wire should always succeed: %v %v", points[1], points[2])
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	cfg := Fig33Config()
+	cfg.Trials = 500
+	a := Sweep(cfg, []float64{0.5, 1, 2})
+	b := Sweep(cfg, []float64{0.5, 1, 2})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep not deterministic: %v vs %v", a[i], b[i])
+		}
+	}
+}
+
+func TestCrossoverMs(t *testing.T) {
+	pts := []Point{{ResidenceMs: 1, PCorrect: 0.2}, {ResidenceMs: 2, PCorrect: 0.97}}
+	if c := CrossoverMs(pts, 0.95); c != 2 {
+		t.Errorf("crossover = %v", c)
+	}
+	if c := CrossoverMs(pts, 0.99); c != -1 {
+		t.Errorf("unreached crossover = %v", c)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if (Point{ResidenceMs: 1.5, PCorrect: 0.5, Trials: 10}).String() == "" {
+		t.Error("empty point string")
+	}
+}

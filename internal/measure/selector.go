@@ -1,0 +1,154 @@
+// Package measure implements Loki's measure language and statistical
+// estimation (thesis Chapter 4): study-level measures as ordered sequences
+// of (subset selection, predicate, observation function) triples, and
+// campaign-level measures — simple sampling, stratified weighted, and
+// stratified user — with moment-based statistics and percentile
+// approximation.
+package measure
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Selector decides whether an experiment stays in the measure pipeline,
+// based on the observation function value of the previous triple (§4.3.3).
+type Selector interface {
+	// Select reports whether an experiment with previous observation value
+	// prev passes. hasPrev is false for the first triple, whose selection
+	// must admit all experiments (§4.3.4).
+	Select(prev float64, hasPrev bool) bool
+	// String renders the selector in source syntax.
+	String() string
+}
+
+// Default selects every experiment — the mandatory first-triple selector
+// (the thesis's "default" in §5.8).
+type Default struct{}
+
+// Select implements Selector.
+func (Default) Select(float64, bool) bool { return true }
+
+// String implements Selector.
+func (Default) String() string { return "default" }
+
+// CmpOp is a comparison operator in a subset selection.
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpGT CmpOp = ">"
+	OpGE CmpOp = ">="
+	OpLT CmpOp = "<"
+	OpLE CmpOp = "<="
+	OpEQ CmpOp = "=="
+	OpNE CmpOp = "!="
+)
+
+// Cmp selects experiments whose previous observation value compares against
+// Value, e.g. (OBS_VALUE > 0).
+type Cmp struct {
+	Op    CmpOp
+	Value float64
+}
+
+// Select implements Selector.
+func (c Cmp) Select(prev float64, hasPrev bool) bool {
+	if !hasPrev {
+		return false
+	}
+	switch c.Op {
+	case OpGT:
+		return prev > c.Value
+	case OpGE:
+		return prev >= c.Value
+	case OpLT:
+		return prev < c.Value
+	case OpLE:
+		return prev <= c.Value
+	case OpEQ:
+		return prev == c.Value
+	case OpNE:
+		return prev != c.Value
+	default:
+		return false
+	}
+}
+
+// String implements Selector.
+func (c Cmp) String() string { return fmt.Sprintf("(OBS_VALUE %s %g)", c.Op, c.Value) }
+
+// Range selects experiments whose previous observation value lies in
+// [Lo, Hi] — the thesis's "between 2 and 10" example (§4.3.3).
+type Range struct {
+	Lo, Hi float64
+}
+
+// Select implements Selector.
+func (r Range) Select(prev float64, hasPrev bool) bool {
+	return hasPrev && prev >= r.Lo && prev <= r.Hi
+}
+
+// String implements Selector.
+func (r Range) String() string {
+	return fmt.Sprintf("(%g <= OBS_VALUE <= %g)", r.Lo, r.Hi)
+}
+
+// UserSelector wraps an arbitrary Go predicate over the previous
+// observation value, mirroring §4.3.3's compiled user functions.
+type UserSelector struct {
+	Name string
+	Fn   func(prev float64) bool
+}
+
+// Select implements Selector.
+func (u UserSelector) Select(prev float64, hasPrev bool) bool { return hasPrev && u.Fn(prev) }
+
+// String implements Selector.
+func (u UserSelector) String() string {
+	if u.Name != "" {
+		return u.Name
+	}
+	return "user-selector"
+}
+
+// ParseSelector parses selector source: "default", "(OBS_VALUE > 0)"-style
+// comparisons, or "(a <= OBS_VALUE <= b)" ranges.
+func ParseSelector(src string) (Selector, error) {
+	s := strings.TrimSpace(src)
+	if s == "default" {
+		return Default{}, nil
+	}
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	s = strings.TrimSpace(s)
+
+	// Range form: a <= OBS_VALUE <= b
+	if parts := strings.Split(s, "<="); len(parts) == 3 && strings.TrimSpace(parts[1]) == "OBS_VALUE" {
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("measure: bad range selector %q", src)
+		}
+		return Range{Lo: lo, Hi: hi}, nil
+	}
+
+	for _, op := range []CmpOp{OpGE, OpLE, OpEQ, OpNE, OpGT, OpLT} {
+		idx := strings.Index(s, string(op))
+		if idx < 0 {
+			continue
+		}
+		lhs := strings.TrimSpace(s[:idx])
+		rhs := strings.TrimSpace(s[idx+len(op):])
+		if lhs != "OBS_VALUE" {
+			return nil, fmt.Errorf("measure: selector %q must compare OBS_VALUE", src)
+		}
+		v, err := strconv.ParseFloat(rhs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("measure: bad selector threshold %q", rhs)
+		}
+		return Cmp{Op: op, Value: v}, nil
+	}
+	return nil, fmt.Errorf("measure: cannot parse selector %q", src)
+}

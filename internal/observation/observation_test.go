@@ -1,0 +1,284 @@
+package observation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/vclock"
+)
+
+func ms(v float64) vclock.Ticks { return vclock.FromMillis(v) }
+
+// fig42PVTs evaluates the three §4.3.1 example predicates over the
+// reconstructed Fig 4.2 global timeline.
+func fig42PVTs() [3]predicate.PVT {
+	g := predicate.Fig42Timeline()
+	return [3]predicate.PVT{
+		predicate.Evaluate(predicate.MustParse(
+			"((StateMachine1, State1, 10 < t < 20) | (StateMachine2, State2, 30 < t < 40))"), g),
+		predicate.Evaluate(predicate.MustParse(
+			"((StateMachine3, State3, Event3, 10 < t < 30) | (StateMachine3, State4, Event4, 20 < t < 40))"), g),
+		predicate.Evaluate(predicate.MustParse(
+			"((StateMachine5, State5, Event5) | (StateMachine6, State6, 10 < t < 40))"), g),
+	}
+}
+
+// TestFig42ObservationExamples applies the thesis's three example
+// observation functions to the three example predicate timelines.
+// Expected values are computed from the printed event table; see
+// EXPERIMENTS.md §F4.2 for the reconciliation against the thesis's printed
+// results (which come from the original figure rather than the OCR'd
+// table: count 2,2,5; duration 1.4,0,7.0; instant 0,26.3,21.2).
+func TestFig42ObservationExamples(t *testing.T) {
+	pvts := fig42PVTs()
+
+	count := MustParse("count(U, B, 10, 35)")
+	wantCount := []float64{2, 2, 4}
+	for i, p := range pvts {
+		if got := count.Apply(p, Env{}); got != wantCount[i] {
+			t.Errorf("count timeline %d = %v, want %v", i+1, got, wantCount[i])
+		}
+	}
+
+	dur := MustParse("duration(T, 2, 10, 40)")
+	wantDur := []float64{3.3, 0, 12.3}
+	for i, p := range pvts {
+		if got := dur.Apply(p, Env{}); math.Abs(got-wantDur[i]) > 1e-5 {
+			t.Errorf("duration timeline %d = %v, want %v", i+1, got, wantDur[i])
+		}
+	}
+
+	inst := MustParse("instant(U, I, 2, 0, 50)")
+	wantInst := []float64{0, 26.3, 21.4}
+	for i, p := range pvts {
+		if got := inst.Apply(p, Env{}); math.Abs(got-wantInst[i]) > 1e-5 {
+			t.Errorf("instant timeline %d = %v, want %v", i+1, got, wantInst[i])
+		}
+	}
+}
+
+func TestCountSelectors(t *testing.T) {
+	p := predicate.NewPVT(
+		[]predicate.Span{{Lo: ms(10), Hi: ms(20)}},
+		[]vclock.Ticks{ms(15), ms(30)},
+	)
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"count(U, B, 0, 50)", 3}, // step up@10, impulses 15, 30
+		{"count(D, B, 0, 50)", 3},
+		{"count(B, B, 0, 50)", 6},
+		{"count(U, S, 0, 50)", 1},
+		{"count(U, I, 0, 50)", 2},
+		{"count(D, S, 0, 50)", 1},
+		{"count(U, B, 12, 18)", 1}, // only the impulse at 15
+		{"count(U, B, 40, 50)", 0},
+	}
+	for _, tc := range cases {
+		if got := MustParse(tc.src).Apply(p, Env{}); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestOutcome(t *testing.T) {
+	p := predicate.NewPVT([]predicate.Span{{Lo: ms(10), Hi: ms(20)}}, []vclock.Ticks{ms(30)})
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"outcome(15)", 1},
+		{"outcome(t = 15)", 1},
+		{"outcome(25)", 0},
+		{"outcome(30)", 1},
+		{"outcome(5)", 0},
+	}
+	for _, tc := range cases {
+		if got := MustParse(tc.src).Apply(p, Env{}); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestDurationPhases(t *testing.T) {
+	p := predicate.NewPVT(
+		[]predicate.Span{{Lo: ms(10), Hi: ms(20)}, {Lo: ms(40), Hi: ms(45)}},
+		[]vclock.Ticks{ms(30)},
+	)
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"duration(T, 1, 0, 50)", 10}, // step up@10 true until 20
+		{"duration(T, 2, 0, 50)", 0},  // impulse@30, bare
+		{"duration(T, 3, 0, 50)", 5},  // step up@40
+		{"duration(T, 4, 0, 50)", 0},  // no 4th up
+		{"duration(F, 1, 0, 50)", 10}, // down@20 false until 30? impulse has measure zero: StepFalseAfter(20)=20 until 40... see below
+		{"duration(F, 2, 0, 50)", 10}, // impulse down@30: false (step-wise) until 40
+		{"duration(F, 3, 0, 50)", 5},  // step down@45: false until horizon 50
+	}
+	// duration(F,1): the first down transition is the step down at 20;
+	// step-false persists until the next step at 40 (impulses are measure
+	// zero), so 20ms.
+	cases[4].want = 20
+	for _, tc := range cases {
+		if got := MustParse(tc.src).Apply(p, Env{}); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestInstantOrdinalAndWindow(t *testing.T) {
+	p := predicate.NewPVT(nil, []vclock.Ticks{ms(5), ms(15), ms(25)})
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"instant(U, I, 1, 0, 50)", 5},
+		{"instant(U, I, 2, 0, 50)", 15},
+		{"instant(U, I, 3, 0, 50)", 25},
+		{"instant(U, I, 4, 0, 50)", 0},
+		{"instant(U, I, 1, 10, 50)", 15},
+		{"instant(U, S, 1, 0, 50)", 0},
+		{"instant(B, I, 2, 0, 50)", 5}, // up and down at 5 both count
+	}
+	for _, tc := range cases {
+		if got := MustParse(tc.src).Apply(p, Env{}); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestTotalDuration(t *testing.T) {
+	p := predicate.NewPVT(
+		[]predicate.Span{{Lo: ms(10), Hi: ms(20)}, {Lo: ms(30), Hi: ms(35)}},
+		[]vclock.Ticks{ms(50)},
+	)
+	if got := MustParse("total_duration(T, 0, 100)").Apply(p, Env{}); got != 15 {
+		t.Errorf("total T = %v", got)
+	}
+	if got := MustParse("total_duration(F, 0, 100)").Apply(p, Env{}); got != 85 {
+		t.Errorf("total F = %v", got)
+	}
+	if got := MustParse("total_duration(T, 15, 32)").Apply(p, Env{}); got != 7 {
+		t.Errorf("windowed total T = %v", got)
+	}
+}
+
+func TestMacros(t *testing.T) {
+	env := Env{StartExp: ms(100), EndExp: ms(200)}
+	p := predicate.NewPVT([]predicate.Span{{Lo: ms(120), Hi: ms(150)}}, nil)
+	f := MustParse("total_duration(T, START_EXP, END_EXP)")
+	if got := f.Apply(p, env); got != 30 {
+		t.Errorf("macro total = %v", got)
+	}
+	if f.String() != "total_duration(T, START_EXP, END_EXP)" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestUserFunc(t *testing.T) {
+	u := User{Name: "crashRatio", Fn: func(p predicate.PVT, env Env) float64 {
+		tot := TotalDuration{Phase: TruePhase, Start: StartExp(), End: EndExp()}.Apply(p, env)
+		span := (env.EndExp - env.StartExp).Millis()
+		if span == 0 {
+			return 0
+		}
+		return tot / span
+	}}
+	env := Env{StartExp: 0, EndExp: ms(100)}
+	p := predicate.NewPVT([]predicate.Span{{Lo: 0, Hi: ms(25)}}, nil)
+	if got := u.Apply(p, env); got != 0.25 {
+		t.Errorf("user func = %v", got)
+	}
+	if u.String() != "crashRatio" {
+		t.Errorf("String = %q", u.String())
+	}
+	if (User{}).String() != "user()" {
+		t.Error("anonymous user func name")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"count(U, B, 10, 35)",
+		"count(D, I, 0, 50)",
+		"outcome(12)",
+		"duration(T, 2, 10, 40)",
+		"duration(F, 1, START_EXP, END_EXP)",
+		"instant(U, I, 2, 0, 50)",
+		"total_duration(T, START_EXP, END_EXP)",
+	}
+	for _, src := range srcs {
+		f := MustParse(src)
+		again, err := Parse(f.String())
+		if err != nil {
+			t.Errorf("reparse %q (from %q): %v", f.String(), src, err)
+			continue
+		}
+		if f.String() != again.String() {
+			t.Errorf("round trip: %q -> %q", f.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"count",
+		"count(U, B, 10)",
+		"count(X, B, 0, 1)",
+		"count(U, X, 0, 1)",
+		"duration(Q, 1, 0, 1)",
+		"duration(T, 0, 0, 1)",
+		"duration(T, x, 0, 1)",
+		"instant(U, I, 1, 0)",
+		"instant(U, I, -1, 0, 1)",
+		"total_duration(T, 0)",
+		"total_duration(T, abc, 1)",
+		"outcome()",
+		"nosuch(1)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSelectorStrings(t *testing.T) {
+	if Up.String() != "U" || Down.String() != "D" || BothDirs.String() != "B" {
+		t.Error("Dir strings")
+	}
+	if Impulses.String() != "I" || Steps.String() != "S" || BothClasses.String() != "B" {
+		t.Error("Class strings")
+	}
+	if TruePhase.String() != "T" || FalsePhase.String() != "F" {
+		t.Error("TF strings")
+	}
+	if Dir(9).String() == "" || Class(9).String() == "" || TF(9).String() == "" {
+		t.Error("unknown selector strings")
+	}
+}
+
+func TestEmptyPVTAllFunctionsZero(t *testing.T) {
+	var p predicate.PVT
+	env := Env{StartExp: 0, EndExp: ms(100)}
+	for _, src := range []string{
+		"count(B, B, 0, 100)",
+		"outcome(50)",
+		"duration(T, 1, 0, 100)",
+		"instant(B, B, 1, 0, 100)",
+		"total_duration(T, 0, 100)",
+	} {
+		if got := MustParse(src).Apply(p, env); got != 0 {
+			t.Errorf("%s on empty PVT = %v", src, got)
+		}
+	}
+	// total_duration(F) on empty is the whole window.
+	if got := MustParse("total_duration(F, 0, 100)").Apply(p, env); got != 100 {
+		t.Errorf("total_duration(F) on empty = %v", got)
+	}
+}

@@ -1,0 +1,191 @@
+package observation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an observation function in the thesis's source syntax:
+//
+//	count(U, B, 10, 35)
+//	outcome(t = 12)  or  outcome(12)
+//	duration(T, 2, 10, 40)
+//	instant(U, I, 2, 0, 50)
+//	total_duration(T, START_EXP, END_EXP)
+//
+// Time arguments are milliseconds or the macros START_EXP / END_EXP.
+func Parse(src string) (Func, error) {
+	s := strings.TrimSpace(src)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("observation: %q is not a function call", src)
+	}
+	name := strings.TrimSpace(s[:open])
+	argsSrc := s[open+1 : len(s)-1]
+	var args []string
+	if strings.TrimSpace(argsSrc) != "" {
+		for _, a := range strings.Split(argsSrc, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	switch name {
+	case "count":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("observation: count wants 4 args, got %d", len(args))
+		}
+		d, err := parseDir(args[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := parseClass(args[1])
+		if err != nil {
+			return nil, err
+		}
+		start, err := parseBound(args[2])
+		if err != nil {
+			return nil, err
+		}
+		end, err := parseBound(args[3])
+		if err != nil {
+			return nil, err
+		}
+		return Count{Dir: d, Class: c, Start: start, End: end}, nil
+	case "outcome":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("observation: outcome wants 1 arg, got %d", len(args))
+		}
+		arg := strings.TrimSpace(strings.TrimPrefix(args[0], "t ="))
+		arg = strings.TrimSpace(strings.TrimPrefix(arg, "t="))
+		at, err := parseBound(arg)
+		if err != nil {
+			return nil, err
+		}
+		return Outcome{At: at}, nil
+	case "duration":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("observation: duration wants 4 args, got %d", len(args))
+		}
+		tf, err := parseTF(args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := strconv.Atoi(args[1])
+		if err != nil || x < 1 {
+			return nil, fmt.Errorf("observation: duration ordinal %q must be a positive integer", args[1])
+		}
+		start, err := parseBound(args[2])
+		if err != nil {
+			return nil, err
+		}
+		end, err := parseBound(args[3])
+		if err != nil {
+			return nil, err
+		}
+		return Duration{Phase: tf, X: x, Start: start, End: end}, nil
+	case "instant":
+		if len(args) != 5 {
+			return nil, fmt.Errorf("observation: instant wants 5 args, got %d", len(args))
+		}
+		d, err := parseDir(args[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := parseClass(args[1])
+		if err != nil {
+			return nil, err
+		}
+		x, err := strconv.Atoi(args[2])
+		if err != nil || x < 1 {
+			return nil, fmt.Errorf("observation: instant ordinal %q must be a positive integer", args[2])
+		}
+		start, err := parseBound(args[3])
+		if err != nil {
+			return nil, err
+		}
+		end, err := parseBound(args[4])
+		if err != nil {
+			return nil, err
+		}
+		return Instant{Dir: d, Class: c, X: x, Start: start, End: end}, nil
+	case "total_duration":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("observation: total_duration wants 3 args, got %d", len(args))
+		}
+		tf, err := parseTF(args[0])
+		if err != nil {
+			return nil, err
+		}
+		start, err := parseBound(args[1])
+		if err != nil {
+			return nil, err
+		}
+		end, err := parseBound(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return TotalDuration{Phase: tf, Start: start, End: end}, nil
+	default:
+		return nil, fmt.Errorf("observation: unknown function %q", name)
+	}
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) Func {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func parseDir(s string) (Dir, error) {
+	switch strings.ToUpper(s) {
+	case "U":
+		return Up, nil
+	case "D":
+		return Down, nil
+	case "B":
+		return BothDirs, nil
+	default:
+		return 0, fmt.Errorf("observation: direction %q (want U, D, or B)", s)
+	}
+}
+
+func parseClass(s string) (Class, error) {
+	switch strings.ToUpper(s) {
+	case "I":
+		return Impulses, nil
+	case "S":
+		return Steps, nil
+	case "B":
+		return BothClasses, nil
+	default:
+		return 0, fmt.Errorf("observation: class %q (want I, S, or B)", s)
+	}
+}
+
+func parseTF(s string) (TF, error) {
+	switch strings.ToUpper(s) {
+	case "T":
+		return TruePhase, nil
+	case "F":
+		return FalsePhase, nil
+	default:
+		return 0, fmt.Errorf("observation: phase %q (want T or F)", s)
+	}
+}
+
+func parseBound(s string) (Bound, error) {
+	switch s {
+	case "START_EXP":
+		return StartExp(), nil
+	case "END_EXP":
+		return EndExp(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return Bound{}, fmt.Errorf("observation: bad time bound %q", s)
+	}
+	return LitMillis(v), nil
+}

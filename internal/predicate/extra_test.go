@@ -1,0 +1,132 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+// randStepPVT builds a random step-only timeline within [0, 1000).
+func randStepPVT(rng *rand.Rand) PVT {
+	var spans []Span
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		lo := vclock.Ticks(rng.Intn(900))
+		hi := lo + vclock.Ticks(rng.Intn(100)+1)
+		spans = append(spans, Span{Lo: lo, Hi: hi})
+	}
+	return NewPVT(spans, nil)
+}
+
+// TestDeMorganOnSteps: ~(a | b) == ~a & ~b pointwise over the horizon, for
+// step-only timelines (negation is defined on the step component).
+func TestDeMorganOnSteps(t *testing.T) {
+	const lo, hi = 0, 1000
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randStepPVT(rng), randStepPVT(rng)
+		left := a.Or(b).Not(lo, hi)
+		right := a.Not(lo, hi).And(b.Not(lo, hi))
+		for x := vclock.Ticks(lo); x < hi; x++ {
+			if left.InStep(x) != right.InStep(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDoubleNegationOnSteps: ~~a == a on the step component inside the
+// horizon.
+func TestDoubleNegationOnSteps(t *testing.T) {
+	const lo, hi = 0, 1000
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randStepPVT(rng)
+		back := a.Not(lo, hi).Not(lo, hi)
+		for x := vclock.Ticks(lo); x < hi; x++ {
+			if a.InStep(x) != back.InStep(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAndOrConsistency: (a & b) true implies a true and b true; (a | b)
+// true iff a or b true — including impulses.
+func TestAndOrConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randStepPVT(rng), randStepPVT(rng)
+		// Sprinkle impulses.
+		var imps []vclock.Ticks
+		for i := 0; i < rng.Intn(4); i++ {
+			imps = append(imps, vclock.Ticks(rng.Intn(1000)))
+		}
+		a = NewPVT(a.Steps(), imps)
+		and, or := a.And(b), a.Or(b)
+		for x := vclock.Ticks(0); x < 1000; x += 3 {
+			av, bv := a.Value(x), b.Value(x)
+			if and.Value(x) != (av && bv) {
+				return false
+			}
+			if or.Value(x) != (av || bv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTotalTrueAdditivity: TotalTrue over [a,c] equals the sum over [a,b]
+// and [b,c].
+func TestTotalTrueAdditivity(t *testing.T) {
+	f := func(seed int64, cut uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randStepPVT(rng)
+		b := vclock.Ticks(cut) % 1000
+		whole := p.TotalTrue(0, 1000)
+		split := p.TotalTrue(0, b) + p.TotalTrue(b, 1000)
+		return whole == split
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransitionsBalance: within a window covering the whole timeline, ups
+// and downs balance for every class.
+func TestTransitionsBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randStepPVT(rng)
+		var imps []vclock.Ticks
+		for i := 0; i < rng.Intn(4); i++ {
+			imps = append(imps, vclock.Ticks(rng.Intn(1000)))
+		}
+		p = NewPVT(p.Steps(), imps)
+		ups, downs := 0, 0
+		for _, tr := range p.Transitions(-1, 2000) {
+			if tr.Up {
+				ups++
+			} else {
+				downs++
+			}
+		}
+		return ups == downs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

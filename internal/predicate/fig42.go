@@ -1,0 +1,59 @@
+package predicate
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/timeline"
+	"repro/internal/vclock"
+)
+
+// Fig42Timeline reconstructs the example global timeline of thesis §4.3.1
+// (the table accompanying Fig. 4.2), with exact (zero-width) time bounds —
+// the thesis notes the bounds there are "very close to each other" and
+// evaluates at their mean. Times are milliseconds.
+//
+// It is exported inside the reproduction for the F4.2 golden tests, the
+// figure harness (cmd/lokifig) and the timeline example.
+func Fig42Timeline() *analysis.Global {
+	rows := []struct {
+		machine string
+		state   string
+		event   string
+		ms      float64
+	}{
+		{"StateMachine5", "State5", "Event5", 11.2},
+		{"StateMachine1", "State0", "Event1", 12.4},
+		{"StateMachine6", "State5", "Event6", 13.1},
+		{"StateMachine1", "State1", "Event2", 18.9},
+		{"StateMachine6", "State6", "Event7", 20},
+		{"StateMachine5", "State5", "Event5", 21.4},
+		{"StateMachine3", "State3", "Event3", 22.3},
+		{"StateMachine3", "State4", "Event4", 26.3},
+		{"StateMachine2", "State0", "Event8", 30.9},
+		{"StateMachine5", "State5", "Event5", 31.2},
+		{"StateMachine2", "State2", "Event9", 32.3},
+		{"StateMachine6", "State4", "Event10", 32.3},
+		{"StateMachine2", "State1", "Event12", 35.6},
+		{"StateMachine6", "State6", "Event11", 37.9},
+		{"StateMachine2", "State2", "Event13", 38.9},
+		{"StateMachine5", "State5", "Event5", 40.6},
+	}
+	g := &analysis.Global{Reference: "host"}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		at := vclock.FromMillis(r.ms)
+		g.Events = append(g.Events, analysis.Event{
+			Machine: r.machine,
+			Kind:    timeline.StateChange,
+			State:   r.state,
+			Event:   r.event,
+			Host:    "host",
+			Local:   at,
+			Ref:     analysis.Interval{Lo: at, Hi: at},
+		})
+		if !seen[r.machine] {
+			seen[r.machine] = true
+			g.Machines = append(g.Machines, r.machine)
+		}
+	}
+	return g
+}

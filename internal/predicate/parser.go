@@ -1,0 +1,262 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/vclock"
+)
+
+// Parse parses a predicate in the thesis's syntax (§4.3.1), e.g.
+//
+//	((StateMachine1, State1, 10 < t < 20) | (StateMachine2, State2, 30 < t < 40))
+//	((StateMachine3, State3, Event3, 10 < t < 30))
+//	(StateMachine5, State5, Event5) | (StateMachine6, State6, 10 < t < 40)
+//
+// Tuples are parenthesized comma-separated lists: machine, state, optional
+// event, optional time. Times are in milliseconds, written either as an
+// interval "a < t < b" or an instant "t = a". Operators are '&', '|', '~'
+// with the same precedence as fault expressions (NOT > AND > OR).
+func Parse(input string) (Expr, error) {
+	p := &parser{src: input}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(input string) Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("predicate: at offset %d of %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '&' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	p.skipSpace()
+	switch p.peek() {
+	case 0:
+		return nil, p.errorf("unexpected end of predicate")
+	case '~', '!':
+		p.pos++
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	case '(':
+		return p.parseGroupOrTuple()
+	default:
+		return nil, p.errorf("expected '(', '~'")
+	}
+}
+
+// parseGroupOrTuple disambiguates "(expr)" from "(machine, state, ...)":
+// a tuple has a comma before any nested parenthesis.
+func (p *parser) parseGroupOrTuple() (Expr, error) {
+	open := p.pos
+	depth := 0
+	isTuple := false
+scan:
+	for i := p.pos; i < len(p.src); i++ {
+		switch p.src[i] {
+		case '(':
+			depth++
+			if depth == 2 {
+				break scan // nested group: not a tuple
+			}
+		case ')':
+			depth--
+			if depth == 0 {
+				break scan
+			}
+		case ',':
+			if depth == 1 {
+				isTuple = true
+				break scan
+			}
+		}
+	}
+	if isTuple {
+		return p.parseTuple()
+	}
+	p.pos++ // consume '('
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.peek() != ')' {
+		return nil, p.errorf("expected ')' to close group opened at offset %d", open)
+	}
+	p.pos++
+	return e, nil
+}
+
+func (p *parser) parseTuple() (Expr, error) {
+	p.pos++ // consume '('
+	var fields []string
+	start := p.pos
+	depth := 1
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' {
+			depth++
+		}
+		if c == ')' {
+			depth--
+			if depth == 0 {
+				fields = append(fields, strings.TrimSpace(p.src[start:p.pos]))
+				p.pos++
+				return buildTuple(fields)
+			}
+		}
+		if c == ',' && depth == 1 {
+			fields = append(fields, strings.TrimSpace(p.src[start:p.pos]))
+			start = p.pos + 1
+		}
+		p.pos++
+	}
+	return nil, p.errorf("unterminated tuple")
+}
+
+func buildTuple(fields []string) (Expr, error) {
+	if len(fields) < 2 || len(fields) > 4 {
+		return nil, fmt.Errorf("predicate: tuple needs 2-4 fields, got %d: %v", len(fields), fields)
+	}
+	t := Tuple{Machine: fields[0], State: fields[1]}
+	rest := fields[2:]
+	// The optional third field is an event unless it parses as a time.
+	if len(rest) > 0 {
+		if tc, ok, err := parseTime(rest[0]); ok {
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) > 1 {
+				return nil, fmt.Errorf("predicate: fields after time constraint in tuple %v", fields)
+			}
+			t.HasTime, t.Time = true, tc
+			rest = nil
+		} else {
+			t.Event = rest[0]
+			rest = rest[1:]
+		}
+	}
+	if len(rest) > 0 {
+		tc, ok, err := parseTime(rest[0])
+		if !ok || err != nil {
+			if err == nil {
+				err = fmt.Errorf("predicate: fourth tuple field %q is not a time constraint", rest[0])
+			}
+			return nil, err
+		}
+		t.HasTime, t.Time = true, tc
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseTime recognizes "a < t < b", "t = a", and "a <= t <= b" forms with
+// millisecond numbers. ok is false when the field does not look like a time
+// constraint at all (so it can be an event name); err is non-nil when it
+// looks like one but is malformed.
+func parseTime(s string) (TimeConstraint, bool, error) {
+	if !strings.ContainsAny(s, "<=") {
+		return TimeConstraint{}, false, nil
+	}
+	norm := strings.ReplaceAll(s, "<=", "<")
+	if eq := strings.Index(norm, "="); eq >= 0 && !strings.Contains(norm, "<") {
+		// "t = a"
+		lhs := strings.TrimSpace(norm[:eq])
+		if lhs != "t" {
+			return TimeConstraint{}, true, fmt.Errorf("predicate: bad instant constraint %q", s)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(norm[eq+1:]), 64)
+		if err != nil {
+			return TimeConstraint{}, true, fmt.Errorf("predicate: bad instant %q", s)
+		}
+		at := vclock.FromMillis(v)
+		return TimeConstraint{Lo: at, Hi: at}, true, nil
+	}
+	parts := strings.Split(norm, "<")
+	if len(parts) != 3 || strings.TrimSpace(parts[1]) != "t" {
+		return TimeConstraint{}, true, fmt.Errorf("predicate: bad time constraint %q (want 'a < t < b')", s)
+	}
+	lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err1 != nil || err2 != nil {
+		return TimeConstraint{}, true, fmt.Errorf("predicate: bad bounds in time constraint %q", s)
+	}
+	return TimeConstraint{Lo: vclock.FromMillis(lo), Hi: vclock.FromMillis(hi)}, true, nil
+}

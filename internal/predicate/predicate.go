@@ -1,0 +1,159 @@
+package predicate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/timeline"
+	"repro/internal/vclock"
+)
+
+// TimeConstraint restricts a tuple to an instant or an interval (§4.3.1:
+// "The time can be either an instant or a time interval").
+type TimeConstraint struct {
+	// Lo and Hi bound the interval; for an instant, Lo == Hi.
+	Lo, Hi vclock.Ticks
+}
+
+// IsInstant reports whether the constraint is a single instant.
+func (tc TimeConstraint) IsInstant() bool { return tc.Lo == tc.Hi }
+
+// Expr is a predicate: tuples combined with AND, OR, and NOT (§4.3.1).
+type Expr interface {
+	// Eval computes the predicate value timeline over the global timeline
+	// g, using [horizonLo, horizonHi) as the truth horizon for negation.
+	Eval(g *analysis.Global, horizonLo, horizonHi vclock.Ticks) PVT
+	// String renders the predicate in the thesis's source syntax.
+	String() string
+}
+
+// Tuple is the §4.3.1 leaf. Event == "" makes it a state tuple (steps);
+// otherwise an event tuple (impulses). HasTime gates with Time.
+type Tuple struct {
+	Machine string
+	State   string
+	Event   string
+	HasTime bool
+	Time    TimeConstraint
+}
+
+// Validate enforces the thesis's rule that event tuples with times must use
+// intervals, not instants (§4.3.1).
+func (t Tuple) Validate() error {
+	if t.Machine == "" || t.State == "" {
+		return fmt.Errorf("predicate: tuple needs machine and state: %s", t)
+	}
+	if t.Event != "" && t.HasTime && t.Time.IsInstant() {
+		return fmt.Errorf("predicate: event tuple %s must use a time interval, not an instant", t)
+	}
+	if t.HasTime && t.Time.Hi < t.Time.Lo {
+		return fmt.Errorf("predicate: tuple %s has inverted time interval", t)
+	}
+	return nil
+}
+
+// String implements Expr.
+func (t Tuple) String() string {
+	s := "(" + t.Machine + ", " + t.State
+	if t.Event != "" {
+		s += ", " + t.Event
+	}
+	if t.HasTime {
+		if t.Time.IsInstant() {
+			s += fmt.Sprintf(", t = %g", t.Time.Lo.Millis())
+		} else {
+			s += fmt.Sprintf(", %g < t < %g", t.Time.Lo.Millis(), t.Time.Hi.Millis())
+		}
+	}
+	return s + ")"
+}
+
+// Eval implements Expr. State tuples yield steps from each entry into State
+// (event interval midpoint, as the thesis's Fig 4.2 does) until the next
+// state change; event tuples yield impulses at matching state-change rows
+// (a row matches when the machine entered State via Event).
+func (t Tuple) Eval(g *analysis.Global, horizonLo, horizonHi vclock.Ticks) PVT {
+	events := g.MachineEvents(t.Machine)
+	if t.Event != "" {
+		var impulses []vclock.Ticks
+		for _, e := range events {
+			if e.Kind == timeline.StateChange && e.State == t.State && e.Event == t.Event {
+				impulses = append(impulses, e.Ref.Mid())
+			}
+		}
+		p := NewPVT(nil, impulses)
+		if t.HasTime {
+			p = p.Clip(t.Time.Lo, t.Time.Hi)
+		}
+		return p
+	}
+	var steps []Span
+	var openLo vclock.Ticks
+	open := false
+	for _, e := range events {
+		if e.Kind != timeline.StateChange {
+			continue
+		}
+		at := e.Ref.Mid()
+		if open && e.State != t.State {
+			steps = append(steps, Span{Lo: openLo, Hi: at})
+			open = false
+		}
+		if !open && e.State == t.State {
+			openLo, open = at, true
+		}
+	}
+	if open {
+		steps = append(steps, Span{Lo: openLo, Hi: vclock.Ticks(math.MaxInt64)})
+	}
+	p := NewPVT(steps, nil)
+	if t.HasTime {
+		p = p.Clip(t.Time.Lo, t.Time.Hi)
+	}
+	return p
+}
+
+// Not negates its operand over the evaluation horizon.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(g *analysis.Global, lo, hi vclock.Ticks) PVT {
+	return n.X.Eval(g, lo, hi).Not(lo, hi)
+}
+
+// String implements Expr.
+func (n Not) String() string { return "~" + n.X.String() }
+
+// And is pointwise conjunction.
+type And struct{ L, R Expr }
+
+// Eval implements Expr.
+func (a And) Eval(g *analysis.Global, lo, hi vclock.Ticks) PVT {
+	return a.L.Eval(g, lo, hi).And(a.R.Eval(g, lo, hi))
+}
+
+// String implements Expr.
+func (a And) String() string { return "(" + a.L.String() + " & " + a.R.String() + ")" }
+
+// Or is pointwise disjunction.
+type Or struct{ L, R Expr }
+
+// Eval implements Expr.
+func (o Or) Eval(g *analysis.Global, lo, hi vclock.Ticks) PVT {
+	return o.L.Eval(g, lo, hi).Or(o.R.Eval(g, lo, hi))
+}
+
+// String implements Expr.
+func (o Or) String() string { return "(" + o.L.String() + " | " + o.R.String() + ")" }
+
+// Evaluate computes the predicate value timeline of e over g, defaulting
+// the horizon to the experiment span (extended to +inf on the right when
+// the timeline's last states persist). The horizon only matters for NOT.
+func Evaluate(e Expr, g *analysis.Global) PVT {
+	span, ok := g.Span()
+	if !ok {
+		return PVT{}
+	}
+	return e.Eval(g, span.Lo, span.Hi)
+}

@@ -1,0 +1,257 @@
+// Package probe provides reusable probe building blocks for instrumenting
+// applications under Loki (thesis §3.5.7), including the "probe templates
+// for a variety of common fault types, such as memory, CPU, and
+// communication faults" that the thesis's conclusions (Chapter 6) propose
+// as future work.
+//
+// An Instrumented value wraps an application body with a registry of named
+// fault actions; the Loki fault parser's InjectFault calls dispatch to the
+// registered action. Fault actions run concurrently with the application
+// body, exactly like the thesis's probe (a call from the Loki runtime into
+// application code).
+package probe
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Action is one fault's injection behaviour.
+type Action func(h *core.Handle)
+
+// Instrumented is a core.App assembled from an application body and named
+// fault actions.
+type Instrumented struct {
+	// Body is the application's appMain (§3.5.7).
+	Body func(h *core.Handle)
+
+	mu      sync.Mutex
+	actions map[string]Action
+	unknown func(h *core.Handle, fault string)
+}
+
+// NewInstrumented wraps an application body.
+func NewInstrumented(body func(h *core.Handle)) *Instrumented {
+	return &Instrumented{Body: body, actions: make(map[string]Action)}
+}
+
+// On registers the action to run when the named fault is injected,
+// returning the receiver for chaining.
+func (in *Instrumented) On(fault string, a Action) *Instrumented {
+	in.mu.Lock()
+	in.actions[fault] = a
+	in.mu.Unlock()
+	return in
+}
+
+// OnUnknown registers a fallback for faults with no registered action. The
+// default fallback records a note in the local timeline.
+func (in *Instrumented) OnUnknown(f func(h *core.Handle, fault string)) *Instrumented {
+	in.mu.Lock()
+	in.unknown = f
+	in.mu.Unlock()
+	return in
+}
+
+// Main implements core.App.
+func (in *Instrumented) Main(h *core.Handle) {
+	if in.Body != nil {
+		in.Body(h)
+	}
+}
+
+// InjectFault implements core.App: it dispatches to the registered action.
+func (in *Instrumented) InjectFault(h *core.Handle, fault string) {
+	in.mu.Lock()
+	a := in.actions[fault]
+	unknown := in.unknown
+	in.mu.Unlock()
+	switch {
+	case a != nil:
+		a(h)
+	case unknown != nil:
+		unknown(h, fault)
+	default:
+		h.Note("fault " + fault + " injected with no registered action")
+	}
+}
+
+// CrashFault is the classic crash fault: the process dies on injection, as
+// bfault1 does to the thesis's leader (§5.4).
+func CrashFault() Action {
+	return func(h *core.Handle) { h.Crash() }
+}
+
+// DelayedCrashFault crashes after a dormancy period — the fault-to-error
+// dormancy the thesis defines in §1.1. A zero-mean jitter can be added for
+// dormancy variability.
+//
+// The injection itself (planting the fault) is immediate and non-blocking,
+// matching the probe contract: injectFault performs the injection and
+// returns promptly (§3.5.7). The dormancy elapses on a separate goroutine —
+// faults may be injected from the application's own event path, and a
+// blocking action there would stall the system under study.
+func DelayedCrashFault(dormancy, jitter time.Duration, seed int64) Action {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(h *core.Handle) {
+		d := dormancy
+		if jitter > 0 {
+			mu.Lock()
+			d += time.Duration(rng.Int63n(int64(2*jitter))) - jitter
+			mu.Unlock()
+			if d < 0 {
+				d = 0
+			}
+		}
+		go func() {
+			if h.Sleep(d) {
+				h.Crash()
+			}
+		}()
+	}
+}
+
+// MemoryRegion is a probe-managed byte region that memory faults corrupt —
+// the thesis's example of "a corruption of a random location in the
+// process's stack" (§5.4). Applications read through Snapshot and can
+// detect corruption via a checksum.
+type MemoryRegion struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemoryRegion allocates a region with the given contents.
+func NewMemoryRegion(data []byte) *MemoryRegion {
+	return &MemoryRegion{data: append([]byte(nil), data...)}
+}
+
+// Snapshot returns a copy of the current contents.
+func (m *MemoryRegion) Snapshot() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.data...)
+}
+
+// Reset replaces the region's contents (the application's own writes; the
+// probe only corrupts).
+func (m *MemoryRegion) Reset(data []byte) {
+	m.mu.Lock()
+	m.data = append(m.data[:0], data...)
+	m.mu.Unlock()
+}
+
+// Checksum returns a simple additive checksum, enough for the application
+// to detect probe-injected corruption.
+func (m *MemoryRegion) Checksum() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum uint32
+	for _, b := range m.data {
+		sum = sum*31 + uint32(b)
+	}
+	return sum
+}
+
+// corrupt flips a random bit at a random offset.
+func (m *MemoryRegion) corrupt(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.data) == 0 {
+		return
+	}
+	i := rng.Intn(len(m.data))
+	m.data[i] ^= 1 << uint(rng.Intn(8))
+}
+
+// MemoryFault returns an action that flips one random bit in the region on
+// every injection.
+func MemoryFault(region *MemoryRegion, seed int64) Action {
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func(h *core.Handle) {
+		mu.Lock()
+		region.corrupt(rng)
+		mu.Unlock()
+		note(h, "memory fault: bit flipped")
+	}
+}
+
+// MessageDropper simulates communication faults: while engaged, the
+// application should consult Dropped before acting on a message. This is
+// the probe-as-a-layer-in-the-protocol-stack pattern of §3.5.7.
+type MessageDropper struct {
+	mu       sync.Mutex
+	dropNext int
+	dropProb float64
+	rng      *rand.Rand
+}
+
+// NewMessageDropper creates a dropper with the given random seed.
+func NewMessageDropper(seed int64) *MessageDropper {
+	return &MessageDropper{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Dropped reports whether the application must discard this message.
+func (d *MessageDropper) Dropped() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dropNext > 0 {
+		d.dropNext--
+		return true
+	}
+	return d.dropProb > 0 && d.rng.Float64() < d.dropProb
+}
+
+// MessageDropFault drops the next n messages after each injection.
+func MessageDropFault(d *MessageDropper, n int) Action {
+	return func(h *core.Handle) {
+		d.mu.Lock()
+		d.dropNext += n
+		d.mu.Unlock()
+		note(h, "communication fault: dropping messages")
+	}
+}
+
+// MessageLossRateFault sets a persistent loss probability on injection.
+func MessageLossRateFault(d *MessageDropper, p float64) Action {
+	return func(h *core.Handle) {
+		d.mu.Lock()
+		d.dropProb = p
+		d.mu.Unlock()
+		note(h, "communication fault: loss rate engaged")
+	}
+}
+
+// CPUFault burns wall-clock time on injection, modeling a CPU hog or a
+// livelocked thread; the node stays alive (it heartbeats) but stops making
+// progress for the duration.
+func CPUFault(busy time.Duration) Action {
+	return func(h *core.Handle) {
+		deadline := time.Now().Add(busy)
+		for time.Now().Before(deadline) {
+			if h != nil {
+				h.Heartbeat()
+			}
+			time.Sleep(time.Millisecond)
+		}
+		note(h, "cpu fault: hog finished")
+	}
+}
+
+// NoteFault only records the injection — useful for dry-run campaigns that
+// validate triggering without perturbing the application.
+func NoteFault() Action {
+	return func(h *core.Handle) { note(h, "noop fault injected") }
+}
+
+// note records into the timeline when a handle is available; actions are
+// nil-handle tolerant so they can be unit-tested in isolation.
+func note(h *core.Handle, text string) {
+	if h != nil {
+		h.Note(text)
+	}
+}

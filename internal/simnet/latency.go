@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/vclock"
+)
+
+// A LatencyModel samples one-way message delays. Samples must be
+// non-negative; a zero delay is delivered on the next event at the same
+// virtual time.
+type LatencyModel interface {
+	Sample(rng *rand.Rand) vclock.Ticks
+}
+
+// Constant is a LatencyModel with a fixed delay.
+type Constant vclock.Ticks
+
+// Sample implements LatencyModel.
+func (c Constant) Sample(*rand.Rand) vclock.Ticks { return vclock.Ticks(c) }
+
+// Uniform samples delays uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max vclock.Ticks
+}
+
+// Sample implements LatencyModel.
+func (u Uniform) Sample(rng *rand.Rand) vclock.Ticks {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + vclock.Ticks(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Exponential samples Min plus an exponential tail with the given mean tail
+// length. This is the classic LAN model: a hard propagation floor plus
+// queueing delay. The thesis's convex-hull synchronization gets its tight
+// bounds from messages that experience delays near the floor.
+type Exponential struct {
+	Min      vclock.Ticks
+	MeanTail vclock.Ticks
+}
+
+// Sample implements LatencyModel.
+func (e Exponential) Sample(rng *rand.Rand) vclock.Ticks {
+	return e.Min + vclock.Ticks(rng.ExpFloat64()*float64(e.MeanTail))
+}
+
+// Normal samples delays from a normal distribution truncated below at Min.
+type Normal struct {
+	Mean, Stddev vclock.Ticks
+	Min          vclock.Ticks
+}
+
+// Sample implements LatencyModel.
+func (n Normal) Sample(rng *rand.Rand) vclock.Ticks {
+	v := vclock.Ticks(float64(n.Mean) + rng.NormFloat64()*float64(n.Stddev))
+	if v < n.Min {
+		v = n.Min
+	}
+	return v
+}
+
+// Timesliced models the delay observed by the thesis's performance analysis
+// (§3.2.2): the wire time is small, but the receiving process must be
+// scheduled by the OS before it can react, so the effective latency is
+// dominated by context-switch waits quantized by the scheduler timeslice.
+//
+// A sample is Wire + S where, with probability PReady, the receiver is
+// already running (S = 0 plus a small dispatch cost), and otherwise the
+// receiver waits a uniform fraction of one timeslice for each of the other
+// runnable processes ahead of it.
+type Timesliced struct {
+	Wire      vclock.Ticks // raw network + kernel path time
+	Timeslice vclock.Ticks // OS scheduling quantum (10 ms or 1 ms in the thesis)
+	PReady    float64      // probability the receiver is scheduled immediately
+	Runnable  int          // other runnable processes competing for the CPU
+}
+
+// Sample implements LatencyModel.
+func (t Timesliced) Sample(rng *rand.Rand) vclock.Ticks {
+	d := t.Wire
+	if rng.Float64() < t.PReady {
+		return d
+	}
+	// The receiver waits for the remainder of the current quantum plus a
+	// random number of whole quanta for competing processes.
+	remainder := vclock.Ticks(rng.Float64() * float64(t.Timeslice))
+	ahead := 0
+	if t.Runnable > 0 {
+		ahead = rng.Intn(t.Runnable + 1)
+	}
+	return d + remainder + vclock.Ticks(ahead)*t.Timeslice
+}
+
+// quantile helpers used by tests and the figure harness.
+
+// MeanOf estimates the mean of model over n samples; a convenience for
+// calibration tests.
+func MeanOf(model LatencyModel, rng *rand.Rand, n int) vclock.Ticks {
+	if n <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(model.Sample(rng))
+	}
+	return vclock.Ticks(math.Round(sum / float64(n)))
+}

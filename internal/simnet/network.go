@@ -1,0 +1,211 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// Address names an endpoint: a (host, endpoint-name) pair, mirroring the
+// thesis's "state machine on a host" addressing.
+type Address struct {
+	Host string
+	Name string
+}
+
+// String implements fmt.Stringer.
+func (a Address) String() string { return a.Host + "/" + a.Name }
+
+// Message is a delivered payload with its send/receive metadata. SendPhys
+// and RecvPhys are virtual *physical* times; host-local timestamps must be
+// taken through the receiving host's Clock, as real code would.
+type Message struct {
+	From, To Address
+	Payload  interface{}
+	SendPhys vclock.Ticks
+	RecvPhys vclock.Ticks
+}
+
+// Handler consumes a delivered message. Handlers run on the simulation
+// goroutine and may send further messages.
+type Handler func(Message)
+
+// Host is a simulated machine: a name, a hidden-error clock, and a set of
+// bound endpoints.
+type Host struct {
+	name      string
+	clock     *vclock.Clock
+	net       *Network
+	endpoints map[string]Handler
+	down      bool
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// Clock returns the host's local clock.
+func (h *Host) Clock() *vclock.Clock { return h.clock }
+
+// Network wires hosts together. All methods must be called from the
+// simulation goroutine (typically from within event callbacks or between
+// Run calls).
+type Network struct {
+	sim        *Sim
+	hosts      map[string]*Host
+	remote     LatencyModel // host-to-host delay
+	local      LatencyModel // same-host (IPC) delay
+	loss       float64      // probability an inter-host message is dropped
+	partitions map[[2]string]bool
+
+	delivered uint64
+	dropped   uint64
+}
+
+// NetworkConfig configures link behaviour.
+type NetworkConfig struct {
+	// Remote is the inter-host latency model. The thesis quotes ~150 µs
+	// for TCP/IP on its LAN (§3.4.2). Defaults to Constant(150 µs).
+	Remote LatencyModel
+	// Local is the same-host IPC latency model; the thesis quotes ~20 µs
+	// for shared memory (§3.4.2). Defaults to Constant(20 µs).
+	Local LatencyModel
+	// Loss is the probability an inter-host message is silently dropped.
+	Loss float64
+}
+
+// NewNetwork returns a network on sim with the given link configuration.
+func NewNetwork(sim *Sim, cfg NetworkConfig) *Network {
+	if cfg.Remote == nil {
+		cfg.Remote = Constant(150 * 1000) // 150 µs
+	}
+	if cfg.Local == nil {
+		cfg.Local = Constant(20 * 1000) // 20 µs
+	}
+	return &Network{
+		sim:        sim,
+		hosts:      make(map[string]*Host),
+		remote:     cfg.Remote,
+		local:      cfg.Local,
+		loss:       cfg.Loss,
+		partitions: make(map[[2]string]bool),
+	}
+}
+
+// Sim returns the underlying scheduler.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// AddHost creates a host with the given hidden clock error. Adding a
+// duplicate host name panics: host names identify machines in every spec
+// file, so a collision is a configuration bug.
+func (n *Network) AddHost(name string, clockCfg vclock.ClockConfig) *Host {
+	if _, ok := n.hosts[name]; ok {
+		panic(fmt.Sprintf("simnet: duplicate host %q", name))
+	}
+	h := &Host{
+		name:      name,
+		clock:     vclock.NewClock(n.sim.Source(), clockCfg),
+		net:       n,
+		endpoints: make(map[string]Handler),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns the named host, or nil if unknown.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// Hosts returns all host names in deterministic (sorted) order.
+func (n *Network) Hosts() []string {
+	names := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bind installs handler as the endpoint name on host h. Rebinding replaces
+// the previous handler (a restarted node re-binds its old address).
+func (h *Host) Bind(name string, handler Handler) {
+	h.endpoints[name] = handler
+}
+
+// Unbind removes an endpoint; subsequent messages to it are dropped, which
+// is how the simulated runtime observes a node exit.
+func (h *Host) Unbind(name string) {
+	delete(h.endpoints, name)
+}
+
+// SetDown marks the host crashed (true) or rebooted (false). Messages to or
+// from a down host are dropped.
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the host is crashed.
+func (h *Host) Down() bool { return h.down }
+
+// Partition blocks traffic between hosts a and b in both directions.
+func (n *Network) Partition(a, b string) { n.partitions[pairKey(a, b)] = true }
+
+// Heal removes the partition between a and b.
+func (n *Network) Heal(a, b string) { delete(n.partitions, pairKey(a, b)) }
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Send delivers payload from one address to another after a sampled latency.
+// Messages to unknown hosts, down hosts, partitioned hosts, or unbound
+// endpoints are counted as dropped; like UDP, the sender is not told.
+func (n *Network) Send(from, to Address, payload interface{}) {
+	src, ok := n.hosts[from.Host]
+	dst, ok2 := n.hosts[to.Host]
+	if !ok || !ok2 || src.down {
+		n.dropped++
+		return
+	}
+	if from.Host != to.Host {
+		if n.partitions[pairKey(from.Host, to.Host)] {
+			n.dropped++
+			return
+		}
+		if n.loss > 0 && n.sim.rng.Float64() < n.loss {
+			n.dropped++
+			return
+		}
+	}
+	model := n.remote
+	if from.Host == to.Host {
+		model = n.local
+	}
+	delay := model.Sample(n.sim.rng)
+	if delay < 0 {
+		delay = 0
+	}
+	sendAt := n.sim.Now()
+	n.sim.After(delay, func() {
+		if dst.down {
+			n.dropped++
+			return
+		}
+		handler, ok := dst.endpoints[to.Name]
+		if !ok {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		handler(Message{
+			From:     from,
+			To:       to,
+			Payload:  payload,
+			SendPhys: sendAt,
+			RecvPhys: n.sim.Now(),
+		})
+	})
+}
+
+// Stats reports total delivered and dropped message counts.
+func (n *Network) Stats() (delivered, dropped uint64) { return n.delivered, n.dropped }

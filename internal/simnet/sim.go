@@ -1,0 +1,119 @@
+// Package simnet provides a deterministic discrete-event simulation of the
+// multi-host LAN testbed the Loki thesis evaluates on.
+//
+// The thesis's experiments (§3.2.2 and the off-line clock synchronization of
+// §2.5) depend on message latencies and clock behaviour at microsecond
+// granularity — below what portable wall-clock sleeping can control. simnet
+// substitutes a discrete-event scheduler that owns a vclock.ManualSource:
+// virtual hosts exchange messages whose delivery times are drawn from
+// configurable latency models, all scheduling is deterministic for a given
+// seed, and each host timestamps with its own hidden-error vclock.Clock.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/vclock"
+)
+
+// Sim is a discrete-event scheduler. It is not safe for concurrent use: a
+// simulation runs on a single goroutine, which is what makes it
+// deterministic. Event callbacks run with the simulation time set to their
+// scheduled time and may schedule further events.
+type Sim struct {
+	src   *vclock.ManualSource
+	rng   *rand.Rand
+	queue eventQueue
+	seq   uint64
+	steps uint64
+}
+
+type event struct {
+	at  vclock.Ticks
+	seq uint64 // FIFO tiebreak for equal times, preserving determinism
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// NewSim returns a simulator whose randomness is seeded with seed and whose
+// clock base starts at zero.
+func NewSim(seed int64) *Sim {
+	return &Sim{
+		src: vclock.NewManualSource(0),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual physical time.
+func (s *Sim) Now() vclock.Ticks { return s.src.Now() }
+
+// Source exposes the simulator's time base, for constructing host clocks.
+func (s *Sim) Source() vclock.Source { return s.src }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (s *Sim) At(t vclock.Ticks, fn func()) {
+	if t < s.Now() {
+		panic(fmt.Sprintf("simnet: At(%d) is before now (%d)", t, s.Now()))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays panic.
+func (s *Sim) After(d vclock.Ticks, fn func()) { s.At(s.Now()+d, fn) }
+
+// Run processes events until the queue is empty and returns the number of
+// events processed.
+func (s *Sim) Run() uint64 { return s.RunUntil(1<<62 - 1) }
+
+// RunUntil processes events with time <= deadline, advancing virtual time to
+// each event's timestamp, and returns the number of events processed. Events
+// scheduled after deadline remain queued; virtual time is left at the last
+// processed event (or unchanged if none ran).
+func (s *Sim) RunUntil(deadline vclock.Ticks) uint64 {
+	var n uint64
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.src.Set(next.at)
+		next.fn()
+		n++
+		s.steps++
+	}
+	return n
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Steps reports the total number of events processed since creation.
+func (s *Sim) Steps() uint64 { return s.steps }

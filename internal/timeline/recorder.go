@@ -1,0 +1,93 @@
+package timeline
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Recorder is the runtime component that appends records to a node's local
+// timeline (§3.5.6). It timestamps with the clock of the host the node
+// currently runs on and is safe for concurrent use: the probe thread, the
+// transport, and the local daemon's watchdog may all record.
+type Recorder struct {
+	mu    sync.Mutex
+	local *Local
+	clock *vclock.Clock
+	host  string
+}
+
+// NewRecorder creates a recorder over an existing timeline (possibly one
+// with entries, when a node restarts) running on host with its clock. The
+// host is interned into the header's host list and a HOST_CHANGE record is
+// appended, carrying the placement information off-line clock
+// synchronization needs (§3.6.3).
+func NewRecorder(local *Local, host string, clock *vclock.Clock) *Recorder {
+	r := &Recorder{local: local, clock: clock, host: host}
+	r.internHost(host)
+	r.append(Entry{Kind: HostChange, Host: host, Time: clock.Now()})
+	return r
+}
+
+func (r *Recorder) internHost(host string) {
+	for _, h := range r.local.Hosts {
+		if h == host {
+			return
+		}
+	}
+	r.local.Hosts = append(r.local.Hosts, host)
+}
+
+func (r *Recorder) append(e Entry) {
+	r.mu.Lock()
+	r.local.Entries = append(r.local.Entries, e)
+	r.mu.Unlock()
+}
+
+// Now reads the recorder's clock (the current host's local clock).
+func (r *Recorder) Now() vclock.Ticks { return r.clock.Now() }
+
+// RecordStateChange logs a transition into newState caused by event, at the
+// given local time (the time must be captured where the event occurred, as
+// the probe does, not when the record is written).
+func (r *Recorder) RecordStateChange(event, newState string, at vclock.Ticks) {
+	r.append(Entry{Kind: StateChange, Event: event, NewState: newState, Host: r.host, Time: at})
+}
+
+// RecordInjection logs the injection of fault at the given local time,
+// which the probe returns from its InjectFault (§3.5.7).
+func (r *Recorder) RecordInjection(fault string, at vclock.Ticks) {
+	r.append(Entry{Kind: FaultInjection, Fault: fault, Host: r.host, Time: at})
+}
+
+// RecordNote logs a free-form user message (§3.5.6).
+func (r *Recorder) RecordNote(text string) {
+	r.append(Entry{Kind: Note, Text: text, Host: r.host, Time: r.clock.Now()})
+}
+
+// Timeline returns the underlying timeline. The caller must not mutate it
+// while the node is still running.
+func (r *Recorder) Timeline() *Local { return r.local }
+
+// Snapshot returns a deep copy of the timeline, safe to read concurrently
+// with further recording.
+func (r *Recorder) Snapshot() *Local {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := *r.local
+	cp.Entries = append([]Entry(nil), r.local.Entries...)
+	cp.Machines = append([]string(nil), r.local.Machines...)
+	cp.GlobalStates = append([]string(nil), r.local.GlobalStates...)
+	cp.Events = append([]string(nil), r.local.Events...)
+	cp.Faults = append(r.local.Faults[:0:0], r.local.Faults...)
+	cp.Hosts = append([]string(nil), r.local.Hosts...)
+	return &cp
+}
+
+// String summarizes the recorder for debugging.
+func (r *Recorder) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fmt.Sprintf("Recorder(%s on %s, %d entries)", r.local.Owner, r.host, len(r.local.Entries))
+}

@@ -1,0 +1,212 @@
+package vclock
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTicksConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Ticks
+		ms   float64
+	}{
+		{"zero", 0, 0},
+		{"one ms", 1e6, 1},
+		{"half ms", 5e5, 0.5},
+		{"negative", -2e6, -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.in.Millis(); got != tt.ms {
+				t.Errorf("Millis() = %v, want %v", got, tt.ms)
+			}
+			if got := FromMillis(tt.ms); got != tt.in {
+				t.Errorf("FromMillis(%v) = %v, want %v", tt.ms, got, tt.in)
+			}
+		})
+	}
+}
+
+func TestTicksDuration(t *testing.T) {
+	if got := Ticks(1500).Duration(); got != 1500*time.Nanosecond {
+		t.Errorf("Duration() = %v", got)
+	}
+	if got := FromDuration(2 * time.Millisecond); got != 2e6 {
+		t.Errorf("FromDuration = %v", got)
+	}
+}
+
+func TestHiLoRoundTrip(t *testing.T) {
+	tests := []Ticks{0, 1, 1<<32 - 1, 1 << 32, 1<<40 + 12345, math.MaxInt64, -1, math.MinInt64}
+	for _, tt := range tests {
+		if got := FromHiLo(tt.Hi(), tt.Lo()); got != tt {
+			t.Errorf("FromHiLo(Hi,Lo) of %d = %d", tt, got)
+		}
+	}
+}
+
+func TestHiLoRoundTripQuick(t *testing.T) {
+	f := func(v int64) bool {
+		tk := Ticks(v)
+		return FromHiLo(tk.Hi(), tk.Lo()) == tk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManualSource(t *testing.T) {
+	s := NewManualSource(100)
+	if got := s.Now(); got != 100 {
+		t.Fatalf("Now() = %d, want 100", got)
+	}
+	s.Advance(50)
+	if got := s.Now(); got != 150 {
+		t.Fatalf("after Advance: Now() = %d, want 150", got)
+	}
+	s.Set(200)
+	if got := s.Now(); got != 200 {
+		t.Fatalf("after Set: Now() = %d, want 200", got)
+	}
+}
+
+func TestManualSourcePanicsOnBackwards(t *testing.T) {
+	s := NewManualSource(10)
+	for name, f := range map[string]func(){
+		"negative advance": func() { s.Advance(-1) },
+		"set backwards":    func() { s.Set(5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSystemSourceMonotonic(t *testing.T) {
+	s := NewSystemSource()
+	prev := s.Now()
+	for i := 0; i < 1000; i++ {
+		now := s.Now()
+		if now < prev {
+			t.Fatalf("SystemSource went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestClockAffine(t *testing.T) {
+	src := NewManualSource(0)
+	c := NewClock(src, ClockConfig{Offset: 1000, DriftPPM: 100})
+	// At t=1e9 (1s), C = 1000 + (1+1e-4)*1e9.
+	want := Ticks(1000 + 1e9 + 1e5)
+	if got := c.At(1e9); got != want {
+		t.Errorf("At(1e9) = %d, want %d", got, want)
+	}
+	src.Set(1e9)
+	if got := c.Now(); got != want {
+		t.Errorf("Now() = %d, want %d", got, want)
+	}
+}
+
+func TestClockGranularity(t *testing.T) {
+	src := NewManualSource(0)
+	c := NewClock(src, ClockConfig{Granularity: 1000})
+	if got := c.At(12345); got != 12000 {
+		t.Errorf("At(12345) = %d, want 12000", got)
+	}
+}
+
+func TestClockPhysicalAtInverts(t *testing.T) {
+	src := NewManualSource(0)
+	c := NewClock(src, ClockConfig{Offset: -5e6, DriftPPM: -80})
+	for _, pt := range []Ticks{0, 1e6, 123456789, 5e12} {
+		local := c.At(pt)
+		back := c.PhysicalAt(local)
+		if diff := back - pt; diff < -2 || diff > 2 {
+			t.Errorf("PhysicalAt(At(%d)) = %d (diff %d)", pt, back, diff)
+		}
+	}
+}
+
+func TestClockMonotonicUnderJitter(t *testing.T) {
+	src := NewManualSource(0)
+	c := NewClock(src, ClockConfig{Jitter: 1000, Seed: 42})
+	prev := c.Now()
+	for i := 0; i < 5000; i++ {
+		src.Advance(Ticks(i % 7)) // tiny advances so jitter dominates
+		now := c.Now()
+		if now < prev {
+			t.Fatalf("jittered clock went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestClockConcurrentNow(t *testing.T) {
+	src := NewSystemSource()
+	c := NewClock(src, ClockConfig{Offset: 12345, DriftPPM: 30, Jitter: 100, Seed: 7})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := c.Now()
+			for j := 0; j < 2000; j++ {
+				now := c.Now()
+				if now < prev {
+					t.Errorf("clock went backwards under concurrency")
+					return
+				}
+				prev = now
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAlphaBetaGroundTruth(t *testing.T) {
+	src := NewManualSource(0)
+	r := NewClock(src, ClockConfig{Offset: 2000, DriftPPM: 50})
+	i := NewClock(src, ClockConfig{Offset: -3000, DriftPPM: -20})
+	alpha, beta := AlphaBeta(r, i)
+	// Verify C_i(t) == alpha + beta*C_r(t) across a range of times.
+	for _, pt := range []Ticks{0, 1e6, 1e9, 7e11} {
+		want := float64(i.At(pt))
+		got := float64(alpha) + beta*float64(r.At(pt))
+		if math.Abs(got-want) > 2 {
+			t.Errorf("t=%d: alpha+beta*Cr = %v, want Ci = %v", pt, got, want)
+		}
+	}
+}
+
+func TestAlphaBetaIdentity(t *testing.T) {
+	src := NewManualSource(0)
+	c := NewClock(src, ClockConfig{Offset: 777, DriftPPM: 13})
+	alpha, beta := AlphaBeta(c, c)
+	if beta != 1 {
+		t.Errorf("beta(r,r) = %v, want 1", beta)
+	}
+	if alpha != 0 {
+		t.Errorf("alpha(r,r) = %v, want 0", alpha)
+	}
+}
+
+func TestPerfectClock(t *testing.T) {
+	src := NewManualSource(5000)
+	c := NewPerfectClock(src)
+	if got := c.Now(); got != 5000 {
+		t.Errorf("perfect clock Now() = %d, want 5000", got)
+	}
+	if c.TrueDrift() != 1 || c.TrueOffset() != 0 {
+		t.Errorf("perfect clock has nonzero error: offset=%d drift=%v", c.TrueOffset(), c.TrueDrift())
+	}
+}

@@ -30,8 +30,12 @@ type (
 )
 
 // RunCampaign executes every experiment of every study: runtime phase with
-// sync mini-phases, then analysis. Accepted experiments are available via
-// StudyOutcome.AcceptedGlobals for measure estimation.
+// sync mini-phases, then analysis. Experiments run on a worker pool of
+// Campaign.Workers executors (default GOMAXPROCS), each with a private
+// runtime, and the analysis phase is pipelined behind the runtime phase;
+// records land at their experiment index, so results are ordered
+// identically however many workers run. Accepted experiments are available
+// via StudyOutcome.AcceptedGlobals for measure estimation.
 func RunCampaign(c *Campaign) (*CampaignOutcome, error) { return campaign.Run(c) }
 
 // Probe construction (§3.5.7 and the Chapter 6 probe templates).

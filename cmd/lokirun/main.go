@@ -9,7 +9,7 @@
 //
 //	lokirun -nodes nodes.txt [-faults faults.txt] [-app election|replica]
 //	        [-experiments N] [-runfor 150ms] [-dormancy 10ms] [-restart]
-//	        [-seed 1] [-out DIR]
+//	        [-seed 1] [-workers N] [-out DIR]
 //
 // The node file is the §3.5.1 format ("<nick> [<host>]"); the fault file
 // holds "<machine> <name> <expr> <once|always>" lines. Injected faults
@@ -42,6 +42,7 @@ func main() {
 		dormancy    = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy (0 = immediate crash)")
 		restart     = flag.Bool("restart", false, "restart crashed nodes once (supervisor)")
 		seed        = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
+		workers     = flag.Int("workers", 0, "concurrent experiment executors (0 = GOMAXPROCS)")
 		outDir      = flag.String("out", "", "artifact directory (default: none written)")
 	)
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 		Name:    "lokirun",
 		Hosts:   cli.HostsFor(nodes, *seed),
 		Studies: []*loki.Study{study},
+		Workers: *workers,
 		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
 	}
 	out, err := loki.RunCampaign(c)

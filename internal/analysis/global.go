@@ -75,9 +75,18 @@ type Global struct {
 // Build projects every local timeline onto the reference timeline using the
 // per-host synchronization bounds. Every host appearing in any timeline
 // must have bounds; otherwise Build fails rather than guess.
+//
+// Ordering is by interval midpoint, ties broken by machine name. Local
+// timelines are recorded in clock order and project through per-host
+// affine bounds, so each machine's projected list is already sorted except
+// across a mid-experiment host change; the global order therefore comes
+// from a k-way merge of the per-machine lists with precomputed midpoints
+// rather than a full sort of the concatenation.
 func Build(ref string, bounds map[string]clocksync.Bounds, locals []*timeline.Local) (*Global, error) {
 	g := &Global{Reference: ref}
 	seen := make(map[string]bool)
+	lists := make([][]Event, 0, len(locals))
+	total := 0
 	for _, l := range locals {
 		if l.Owner == "" {
 			return nil, fmt.Errorf("analysis: local timeline without owner")
@@ -87,6 +96,8 @@ func Build(ref string, bounds map[string]clocksync.Bounds, locals []*timeline.Lo
 		}
 		seen[l.Owner] = true
 		g.Machines = append(g.Machines, l.Owner)
+		events := make([]Event, 0, len(l.Entries))
+		sorted := true
 		for i, e := range l.Entries {
 			if e.Kind == timeline.HostChange || e.Kind == timeline.Note {
 				continue
@@ -99,7 +110,7 @@ func Build(ref string, bounds map[string]clocksync.Bounds, locals []*timeline.Lo
 				return nil, fmt.Errorf("analysis: no clock bounds for host %q (machine %s)", e.Host, l.Owner)
 			}
 			lo, hi := b.Project(e.Time)
-			g.Events = append(g.Events, Event{
+			ev := Event{
 				Machine: l.Owner,
 				Kind:    e.Kind,
 				State:   e.NewState,
@@ -108,18 +119,96 @@ func Build(ref string, bounds map[string]clocksync.Bounds, locals []*timeline.Lo
 				Host:    e.Host,
 				Local:   e.Time,
 				Ref:     Interval{Lo: lo, Hi: hi},
+			}
+			if len(events) > 0 && ev.Ref.Mid() < events[len(events)-1].Ref.Mid() {
+				sorted = false
+			}
+			events = append(events, ev)
+		}
+		if !sorted {
+			// Only possible when the machine moved hosts mid-experiment
+			// (restart on another host): different bounds, different order.
+			sort.SliceStable(events, func(i, j int) bool {
+				return events[i].Ref.Mid() < events[j].Ref.Mid()
 			})
+		}
+		if len(events) > 0 {
+			lists = append(lists, events)
+			total += len(events)
 		}
 	}
 	sort.Strings(g.Machines)
-	sort.SliceStable(g.Events, func(i, j int) bool {
-		mi, mj := g.Events[i].Ref.Mid(), g.Events[j].Ref.Mid()
-		if mi != mj {
-			return mi < mj
-		}
-		return g.Events[i].Machine < g.Events[j].Machine
-	})
+	g.Events = mergeEventLists(lists, total)
 	return g, nil
+}
+
+// mergeHead is one merge cursor: the midpoint of the list's current head
+// (precomputed so the heap never recomputes it) plus the list identity.
+// Each list holds exactly one machine's events, so the machine tie-break
+// never has to compare within a list and in-list order is preserved —
+// byte-for-byte the order sort.SliceStable produced over the concatenation.
+type mergeHead struct {
+	mid     vclock.Ticks
+	machine string
+	list    int
+	pos     int
+}
+
+func headLess(a, b mergeHead) bool {
+	if a.mid != b.mid {
+		return a.mid < b.mid
+	}
+	return a.machine < b.machine
+}
+
+// mergeEventLists k-way merges per-machine event lists, each sorted by
+// interval midpoint, into one list ordered by (midpoint, machine).
+func mergeEventLists(lists [][]Event, total int) []Event {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	heap := make([]mergeHead, 0, len(lists))
+	for i, l := range lists {
+		heap = append(heap, mergeHead{mid: l[0].Ref.Mid(), machine: l[0].Machine, list: i, pos: 0})
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i)
+	}
+	out := make([]Event, 0, total)
+	for len(heap) > 0 {
+		h := heap[0]
+		l := lists[h.list]
+		out = append(out, l[h.pos])
+		if h.pos+1 < len(l) {
+			heap[0].pos = h.pos + 1
+			heap[0].mid = l[h.pos+1].Ref.Mid()
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(heap, 0)
+	}
+	return out
+}
+
+func siftDown(h []mergeHead, i int) {
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < len(h) && headLess(h[l], h[min]) {
+			min = l
+		}
+		if r < len(h) && headLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // MachineEvents returns the events of one machine, in timeline order.

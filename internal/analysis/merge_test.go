@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/clocksync"
+	"repro/internal/timeline"
+	"repro/internal/vclock"
+)
+
+// buildReference reimplements the pre-merge Build ordering: concatenate
+// all projected events in timeline order, then stable-sort by (interval
+// midpoint, machine). The k-way merge must reproduce it byte for byte.
+func buildReference(ref string, bounds map[string]clocksync.Bounds, locals []*timeline.Local) *Global {
+	g := &Global{Reference: ref}
+	for _, l := range locals {
+		g.Machines = append(g.Machines, l.Owner)
+		for _, e := range l.Entries {
+			if e.Kind == timeline.HostChange || e.Kind == timeline.Note {
+				continue
+			}
+			b := bounds[e.Host]
+			lo, hi := b.Project(e.Time)
+			g.Events = append(g.Events, Event{
+				Machine: l.Owner, Kind: e.Kind, State: e.NewState, Event: e.Event,
+				Fault: e.Fault, Host: e.Host, Local: e.Time,
+				Ref: Interval{Lo: lo, Hi: hi},
+			})
+		}
+	}
+	sort.Strings(g.Machines)
+	sort.SliceStable(g.Events, func(i, j int) bool {
+		mi, mj := g.Events[i].Ref.Mid(), g.Events[j].Ref.Mid()
+		if mi != mj {
+			return mi < mj
+		}
+		return g.Events[i].Machine < g.Events[j].Machine
+	})
+	return g
+}
+
+// TestBuildMergeMatchesStableSort fuzzes Build against the reference
+// ordering: random machines, hosts with distinct bounds, deliberate
+// midpoint collisions (coarse time grid), and mid-timeline host changes
+// (the unsorted-projection case).
+func TestBuildMergeMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hosts := []string{"h1", "h2", "h3"}
+	bounds := map[string]clocksync.Bounds{
+		"h1": clocksync.Identity(),
+		"h2": {AlphaLo: -2e6, AlphaHi: 2e6, BetaLo: 0.9999, BetaHi: 1.0001},
+		"h3": {AlphaLo: -5e6, AlphaHi: -3e6, BetaLo: 0.9998, BetaHi: 1.0002},
+	}
+	for trial := 0; trial < 50; trial++ {
+		var locals []*timeline.Local
+		machines := 1 + rng.Intn(5)
+		for m := 0; m < machines; m++ {
+			l := &timeline.Local{Meta: timeline.Meta{Owner: string(rune('a' + m))}}
+			host := hosts[rng.Intn(len(hosts))]
+			n := rng.Intn(40)
+			tGrid := vclock.Ticks(0)
+			for i := 0; i < n; i++ {
+				// Coarse grid forces midpoint ties across machines.
+				tGrid += vclock.Ticks(rng.Intn(3)) * 1e6
+				kind := timeline.StateChange
+				if rng.Intn(5) == 0 {
+					kind = timeline.FaultInjection
+				}
+				if rng.Intn(10) == 0 {
+					// Mid-timeline host change: later entries project
+					// through different bounds, breaking per-list order.
+					host = hosts[rng.Intn(len(hosts))]
+					l.Entries = append(l.Entries, timeline.Entry{Kind: timeline.HostChange, Host: host})
+				}
+				l.Entries = append(l.Entries, timeline.Entry{
+					Kind: kind, Event: "e", NewState: "S", Fault: "f",
+					Host: host, Time: tGrid,
+				})
+			}
+			locals = append(locals, l)
+		}
+		got, err := Build("h1", bounds, locals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := buildReference("h1", bounds, locals)
+		if !reflect.DeepEqual(got.Machines, want.Machines) {
+			t.Fatalf("trial %d: machines %v != %v", trial, got.Machines, want.Machines)
+		}
+		if len(got.Events) != len(want.Events) {
+			t.Fatalf("trial %d: %d events != %d", trial, len(got.Events), len(want.Events))
+		}
+		for i := range got.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("trial %d: event %d differs:\n got %+v\nwant %+v", trial, i, got.Events[i], want.Events[i])
+			}
+		}
+	}
+}

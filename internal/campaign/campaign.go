@@ -9,6 +9,8 @@ package campaign
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -49,8 +51,15 @@ type Campaign struct {
 	Name    string
 	Hosts   []HostDef
 	Studies []*Study
-	// Runtime tunes the core runtime (delays, watchdog). The Source field
-	// is overridden per campaign run.
+	// Workers is the number of concurrent experiment executors per study.
+	// Each worker owns its own core.Runtime and virtual-host set, so
+	// experiments never share mutable runtime state; results land at their
+	// experiment index regardless of completion order. Zero or negative
+	// defaults to GOMAXPROCS.
+	Workers int
+	// Runtime tunes the core runtime (delays, watchdog). If Runtime.Source
+	// is nil each worker gets its own SystemSource; a supplied Source is
+	// shared by all workers and must be safe for concurrent use.
 	Runtime core.Config
 	// Sync configures the clock synchronization mini-phases.
 	Sync SyncConfig
@@ -79,11 +88,15 @@ type StudyResult struct {
 }
 
 // AcceptedGlobals returns the global timelines of accepted experiments —
-// the input to measure.StudyMeasure.ApplyAll.
+// the input to measure.StudyMeasure.ApplyAll. It is nil-receiver safe, so
+// Result.Study("missing").AcceptedGlobals() is an empty slice, not a panic.
 func (s *StudyResult) AcceptedGlobals() []*analysis.Global {
-	var out []*analysis.Global
+	if s == nil {
+		return nil
+	}
+	out := make([]*analysis.Global, 0, len(s.Records))
 	for _, r := range s.Records {
-		if r.Accepted {
+		if r != nil && r.Accepted {
 			out = append(out, r.Global)
 		}
 	}
@@ -91,13 +104,14 @@ func (s *StudyResult) AcceptedGlobals() []*analysis.Global {
 }
 
 // AcceptanceRate is the fraction of experiments that survived analysis.
+// A nil receiver (missing study) rates 0.
 func (s *StudyResult) AcceptanceRate() float64 {
-	if len(s.Records) == 0 {
+	if s == nil || len(s.Records) == 0 {
 		return 0
 	}
 	n := 0
 	for _, r := range s.Records {
-		if r.Accepted {
+		if r != nil && r.Accepted {
 			n++
 		}
 	}
@@ -154,20 +168,11 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	rtCfg := c.Runtime
-	rtCfg.Source = vclock.NewSystemSource()
-	rt := core.New(rtCfg)
+	rt, cd, ref, err := newStudyRuntime(c, st)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	defer rt.Shutdown()
-	for _, h := range c.Hosts {
-		rt.AddHost(h.Name, h.Clock)
-	}
-	for _, def := range st.Nodes {
-		if err := rt.Register(def); err != nil {
-			return nil, nil, nil, err
-		}
-	}
-	cd := core.NewCentralDaemon(rt)
-	ref := referenceHost(rt)
 
 	stamps := exchangeStamps(rt, ref, c.Sync)
 	var sup *supervisor
@@ -202,6 +207,44 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 	return rec, stamps, locals, nil
 }
 
+// rawExperiment is the runtime phase's output handed to the analysis
+// stage: everything analysis needs, deep-copied out of the worker's
+// runtime so the next experiment on that runtime cannot alias it.
+type rawExperiment struct {
+	index     int
+	completed bool
+	outcomes  map[string]string
+	stamps    []clocksync.StampedMessage
+	locals    []*timeline.Local
+	ref       string
+}
+
+// newStudyRuntime builds one worker's private runtime: its own virtual
+// host set (clocks included) and node registrations, so concurrent
+// experiments share no mutable runtime state.
+func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon, string, error) {
+	// core.New defaults a nil Source to a fresh SystemSource, giving each
+	// worker its own time base unless the campaign supplies a shared one.
+	rt := core.New(c.Runtime)
+	for _, h := range c.Hosts {
+		rt.AddHost(h.Name, h.Clock)
+	}
+	for _, def := range st.Nodes {
+		if err := rt.Register(def); err != nil {
+			rt.Shutdown()
+			return nil, nil, "", err
+		}
+	}
+	return rt, core.NewCentralDaemon(rt), referenceHost(rt), nil
+}
+
+// runStudy executes a study's experiments on a worker pool with a
+// pipelined analysis stage: runtime workers (each owning a private
+// runtime) feed raw experiment artifacts to analysis workers, so the
+// clock-sync/global-timeline/containment work for experiment k overlaps
+// the runtime phase of experiment k+1 — even with a single runtime worker.
+// Records land at their experiment index regardless of completion order,
+// so parallel and sequential runs order results identically.
 func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
 	experiments := st.Experiments
 	if experiments <= 0 {
@@ -211,39 +254,109 @@ func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-
-	// One runtime hosts the whole study; the central daemon resets it
-	// between experiments (§3.5.1).
-	rtCfg := c.Runtime
-	rtCfg.Source = vclock.NewSystemSource()
-	rt := core.New(rtCfg)
-	defer rt.Shutdown()
-	for _, h := range c.Hosts {
-		rt.AddHost(h.Name, h.Clock)
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	for _, def := range st.Nodes {
-		if err := rt.Register(def); err != nil {
-			return nil, err
+	if workers > experiments {
+		workers = experiments
+	}
+
+	records := make([]*ExperimentRecord, experiments)
+	var (
+		errOnce  sync.Once
+		firstErr error
+		done     = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(done)
+		})
+	}
+	failed := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
 		}
 	}
-	cd := core.NewCentralDaemon(rt)
-	ref := referenceHost(rt)
 
-	sr := &StudyResult{Name: st.Name}
-	for i := 0; i < experiments; i++ {
-		rec, err := runExperiment(c, st, rt, cd, ref, i, timeout)
-		if err != nil {
-			return nil, err
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := 0; i < experiments; i++ {
+			select {
+			case idxCh <- i:
+			case <-done:
+				return
+			}
 		}
-		sr.Records = append(sr.Records, rec)
+	}()
+
+	rawCh := make(chan *rawExperiment, workers)
+	var runWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		runWG.Add(1)
+		go func() {
+			defer runWG.Done()
+			rt, cd, ref, err := newStudyRuntime(c, st)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer rt.Shutdown()
+			for i := range idxCh {
+				raw, err := runRuntimePhase(c, st, rt, cd, ref, i, timeout)
+				if err != nil {
+					fail(err)
+					return
+				}
+				select {
+				case rawCh <- raw:
+				case <-done:
+					return
+				}
+			}
+		}()
 	}
-	return sr, nil
+	go func() {
+		runWG.Wait()
+		close(rawCh)
+	}()
+
+	var anWG sync.WaitGroup
+	for a := 0; a < workers; a++ {
+		anWG.Add(1)
+		go func() {
+			defer anWG.Done()
+			for raw := range rawCh {
+				if failed() {
+					continue // drain
+				}
+				rec, err := analyzeExperiment(c, st, raw)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				records[raw.index] = rec
+			}
+		}()
+	}
+	anWG.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &StudyResult{Name: st.Name, Records: records}, nil
 }
 
-func runExperiment(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralDaemon,
-	ref string, index int, timeout time.Duration) (*ExperimentRecord, error) {
-
-	rec := &ExperimentRecord{Study: st.Name, Index: index}
+// runRuntimePhase executes one experiment's runtime phase on the worker's
+// runtime: pre-sync mini-phase, the experiment itself (with supervised
+// restarts if configured), post-sync mini-phase, and artifact snapshots.
+func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralDaemon,
+	ref string, index int, timeout time.Duration) (*rawExperiment, error) {
 
 	// Pre-experiment synchronization mini-phase (§2.3).
 	stamps := exchangeStamps(rt, ref, c.Sync)
@@ -261,32 +374,46 @@ func runExperiment(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralDae
 	if err != nil {
 		return nil, err
 	}
-	rec.Completed = runRes.Completed
-	rec.Outcomes = runRes.Outcomes
 
 	// Post-experiment synchronization mini-phase.
 	stamps = append(stamps, exchangeStamps(rt, ref, c.Sync)...)
 
+	return &rawExperiment{
+		index:     index,
+		completed: runRes.Completed,
+		outcomes:  runRes.Outcomes,
+		stamps:    stamps,
+		locals:    snapshotTimelines(runRes.Timelines),
+		ref:       ref,
+	}, nil
+}
+
+// analyzeExperiment is the analysis phase for one experiment: off-line
+// clock synchronization, projection onto the global timeline, conservative
+// injection checking (§2.5). It touches no runtime state, which is what
+// lets it run concurrently with later experiments' runtime phases.
+func analyzeExperiment(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentRecord, error) {
+	rec := &ExperimentRecord{
+		Study:     st.Name,
+		Index:     raw.index,
+		Completed: raw.completed,
+		Outcomes:  raw.outcomes,
+	}
 	if !rec.Completed {
 		// Aborted experiments are discarded outright (§3.5.1).
 		return rec, nil
 	}
-
-	// Analysis phase: off-line clock synchronization, projection,
-	// conservative checking (§2.5).
-	bounds, err := clocksync.EstimateAll(stamps, ref)
+	bounds, err := clocksync.EstimateAll(raw.stamps, raw.ref)
 	if err != nil {
-		return nil, fmt.Errorf("experiment %d: clock sync: %w", index, err)
+		return nil, fmt.Errorf("experiment %d: clock sync: %w", raw.index, err)
 	}
 	rec.Bounds = bounds
-
-	locals := snapshotTimelines(runRes.Timelines)
-	g, err := analysis.Build(ref, bounds, locals)
+	g, err := analysis.Build(raw.ref, bounds, raw.locals)
 	if err != nil {
-		return nil, fmt.Errorf("experiment %d: global timeline: %w", index, err)
+		return nil, fmt.Errorf("experiment %d: global timeline: %w", raw.index, err)
 	}
 	rec.Global = g
-	rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(locals), c.Check)
+	rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(raw.locals), c.Check)
 	rec.Accepted = rec.Report.Accepted
 	return rec, nil
 }

@@ -44,8 +44,8 @@ type Node struct {
 	restarted bool
 
 	mu      sync.Mutex
-	state   string            // current local state ("" until initialized)
-	view    map[string]string // partial view of global state, incl. self
+	state   string     // current local state ("" until initialized)
+	view    *stateView // partial view of global state, incl. self
 	started bool
 
 	// lifeMu serializes terminal transitions (exit/crash/kill) with their
@@ -75,7 +75,7 @@ func newNode(r *Runtime, def *NodeDef, hs *hostState, local *timeline.Local, res
 		recorder:  timeline.NewRecorder(local, hs.host.Name, hs.host.Clock),
 		triggers:  faultexpr.NewTriggerSet(def.Faults),
 		restarted: restarted,
-		view:      make(map[string]string),
+		view:      newStateView(),
 		done:      make(chan struct{}),
 		appDone:   make(chan struct{}),
 	}
@@ -113,9 +113,17 @@ func (n *Node) Timeline() *timeline.Local { return n.recorder.Snapshot() }
 func (n *Node) seedView(states map[string]string) {
 	n.mu.Lock()
 	for m, s := range states {
-		n.view[m] = s
+		n.view.set(m, s)
 	}
 	n.mu.Unlock()
+}
+
+// ViewSnapshot returns an immutable copy of the node's current partial
+// view. The copy is made lazily, at most once per view version.
+func (n *Node) ViewSnapshot() faultexpr.MapView {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view.Snapshot()
 }
 
 // run starts the application goroutine.
@@ -213,7 +221,9 @@ func (n *Node) Outcome() string {
 
 // localEvent is the probe's event notification path (§3.5.7 notifyEvent):
 // track the local state, record, notify remote machines, and run the fault
-// parser.
+// parser. The fault parser evaluates against the live view under the same
+// lock as the mutation — no per-event copy — and only the expressions
+// mentioning this machine are re-evaluated (the compiled trigger index).
 func (n *Node) localEvent(event string) error {
 	if atomic.LoadInt32(&n.lifecycle) != lcRunning {
 		return fmt.Errorf("core: node %s is not running", n.Nickname())
@@ -245,13 +255,13 @@ func (n *Node) localEvent(event string) error {
 		next = s
 	}
 	n.state = next
-	n.view[n.Nickname()] = next
-	view := n.viewCopyLocked()
+	n.view.set(n.Nickname(), next)
+	fired := n.triggers.ObserveChange(n.Nickname(), n.view)
 	n.mu.Unlock()
 
 	n.recorder.RecordStateChange(event, next, at)
 	n.broadcast(next, n.def.Spec.NotifyList(next))
-	n.parseFaults(view)
+	n.inject(fired)
 	return nil
 }
 
@@ -262,26 +272,16 @@ func (n *Node) remoteNotify(note stateNote) {
 	}
 	n.touch()
 	n.mu.Lock()
-	n.view[note.From] = note.State
-	view := n.viewCopyLocked()
+	n.view.set(note.From, note.State)
+	fired := n.triggers.ObserveChange(note.From, n.view)
 	n.mu.Unlock()
-	n.parseFaults(view)
+	n.inject(fired)
 }
 
-func (n *Node) viewCopyLocked() faultexpr.MapView {
-	v := make(faultexpr.MapView, len(n.view))
-	for m, s := range n.view {
-		v[m] = s
-	}
-	return v
-}
-
-// parseFaults runs the fault parser on a new view (§3.5.5) and performs any
-// demanded injections through the probe, recording their times.
-func (n *Node) parseFaults(view faultexpr.MapView) {
-	n.mu.Lock()
-	fired := n.triggers.Observe(view)
-	n.mu.Unlock()
+// inject performs the demanded injections through the probe (§3.5.5),
+// recording their times. It must be called without mu held: actions are
+// free to call back into the node (h.Crash, h.Note, ...).
+func (n *Node) inject(fired []faultexpr.Spec) {
 	for _, f := range fired {
 		if atomic.LoadInt32(&n.lifecycle) != lcRunning {
 			return

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+	"repro/internal/vclock"
+)
+
+// TestStateViewCopyOnWrite pins the COW contract the notification hot path
+// relies on: no copy per mutation, at most one copy per version however
+// many snapshots are taken, and handed-out snapshots immutable.
+func TestStateViewCopyOnWrite(t *testing.T) {
+	v := newStateView()
+	v.set("m1", "A")
+	v.set("m2", "B")
+	ver := v.Version()
+
+	s1 := v.Snapshot()
+	s2 := v.Snapshot()
+	if reflect.ValueOf(s1).Pointer() != reflect.ValueOf(s2).Pointer() {
+		t.Error("unchanged view returned a fresh copy per Snapshot call")
+	}
+
+	// A no-op set must not invalidate the cache or advance the version.
+	v.set("m1", "A")
+	if v.Version() != ver {
+		t.Errorf("no-op set bumped version %d -> %d", ver, v.Version())
+	}
+	if reflect.ValueOf(v.Snapshot()).Pointer() != reflect.ValueOf(s1).Pointer() {
+		t.Error("no-op set invalidated the cached snapshot")
+	}
+
+	// An effective set bumps the version and copies on the next Snapshot;
+	// the old snapshot must keep its pre-change contents.
+	v.set("m1", "C")
+	if v.Version() != ver+1 {
+		t.Errorf("effective set: version %d, want %d", v.Version(), ver+1)
+	}
+	s3 := v.Snapshot()
+	if reflect.ValueOf(s3).Pointer() == reflect.ValueOf(s1).Pointer() {
+		t.Error("snapshot not refreshed after mutation")
+	}
+	if s1["m1"] != "A" || s3["m1"] != "C" {
+		t.Errorf("snapshots not isolated: old=%v new=%v", s1, s3)
+	}
+
+	if s, ok := v.StateOf("m2"); !ok || s != "B" {
+		t.Errorf("StateOf(m2) = %q, %v", s, ok)
+	}
+}
+
+// TestNodeViewSnapshot drives ViewSnapshot through a running node: the
+// snapshot must reflect the node's own state transitions as the partial
+// view tracks them.
+func TestNodeViewSnapshot(t *testing.T) {
+	rt := New(Config{})
+	defer rt.Shutdown()
+	rt.AddHost("h1", vclock.ClockConfig{})
+	sm, err := spec.ParseStateMachine(`
+global_state_list
+  BEGIN
+  A
+  B
+  CRASH
+  EXIT
+end_global_state_list
+event_list
+  go
+end_event_list
+state A
+  go B
+state B
+state CRASH
+state EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := make(chan struct{})
+	if err := rt.Register(NodeDef{
+		Nickname: "sv", Spec: sm,
+		App: scriptApp{main: func(h *Handle) {
+			h.NotifyEvent("A")
+			<-step
+			h.NotifyEvent("go")
+			<-h.Done()
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := rt.StartNode("sv", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, n, "A")
+	if v := n.ViewSnapshot(); v["sv"] != "A" {
+		t.Errorf("view after init = %v, want sv:A", v)
+	}
+	before := n.ViewSnapshot()
+	close(step)
+	waitState(t, n, "B")
+	if v := n.ViewSnapshot(); v["sv"] != "B" {
+		t.Errorf("view after go = %v, want sv:B", v)
+	}
+	if before["sv"] != "A" {
+		t.Errorf("earlier snapshot mutated: %v", before)
+	}
+	rt.KillAll()
+	rt.Wait(time.Second)
+}
+
+func waitState(t *testing.T, n *Node, want string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s, ok := n.CurrentState(); ok && s == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s, _ := n.CurrentState()
+	t.Fatalf("node never reached %s (at %q)", want, s)
+}

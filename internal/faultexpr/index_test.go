@@ -1,0 +1,113 @@
+package faultexpr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestObserveChangeMatchesObserve drives two identical trigger sets through
+// the same sequence of single-machine view changes — one via the full
+// Observe scan, one via the indexed ObserveChange — and requires identical
+// firing sequences.
+func TestObserveChangeMatchesObserve(t *testing.T) {
+	specs, err := ParseSpecs(`
+f1 ((black:CRASH) & ((green:FOLLOW) | (green:ELECT))) once
+f2 (black:LEAD) always
+f3 ~(yellow:EXIT) & (black:INIT) always
+f4 ~(ghost:ANY) always
+f5 ((green:LEAD) | (yellow:LEAD)) always
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []string{"black", "green", "yellow"}
+	states := []string{"INIT", "ELECT", "LEAD", "FOLLOW", "CRASH", "EXIT"}
+
+	full := NewTriggerSet(specs)
+	indexed := NewTriggerSet(specs)
+	rng := rand.New(rand.NewSource(7))
+	view := MapView{}
+	for step := 0; step < 500; step++ {
+		m := machines[rng.Intn(len(machines))]
+		view[m] = states[rng.Intn(len(states))]
+		want := names(full.Observe(view))
+		got := names(indexed.ObserveChange(m, view))
+		if want != got {
+			t.Fatalf("step %d (%s -> %s): Observe fired %q, ObserveChange fired %q",
+				step, m, view[m], want, got)
+		}
+	}
+}
+
+// TestObserveChangePrimesAllTriggers: an expression over machines that never
+// change (here a pure negation over an unknown machine) must still fire on
+// the very first observation, whichever machine that observation names.
+func TestObserveChangePrimesAllTriggers(t *testing.T) {
+	specs, err := ParseSpecs("f1 ~(ghost:UP) once\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTriggerSet(specs)
+	fired := ts.ObserveChange("other", MapView{"other": "A"})
+	if len(fired) != 1 || fired[0].Name != "f1" {
+		t.Fatalf("first observation fired %v, want f1", fired)
+	}
+	// After priming, changes to unmentioned machines must not re-fire.
+	if fired := ts.ObserveChange("other", MapView{"other": "B"}); len(fired) != 0 {
+		t.Fatalf("unrelated change fired %v", fired)
+	}
+}
+
+// TestObserveChangeSkipsUnrelated verifies the index only evaluates
+// expressions mentioning the changed machine: an "always" trigger whose
+// expression stays true must not re-fire off unrelated machine changes
+// (no false positive edges), and must re-fire on a genuine new edge.
+func TestObserveChangeSkipsUnrelated(t *testing.T) {
+	specs, err := ParseSpecs("f1 (m1:UP) always\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTriggerSet(specs)
+	v := MapView{"m1": "UP"}
+	if fired := ts.ObserveChange("m1", v); len(fired) != 1 {
+		t.Fatalf("initial edge fired %v", fired)
+	}
+	v["m2"] = "X"
+	if fired := ts.ObserveChange("m2", v); len(fired) != 0 {
+		t.Fatalf("unrelated change fired %v", fired)
+	}
+	v["m1"] = "DOWN"
+	if fired := ts.ObserveChange("m1", v); len(fired) != 0 {
+		t.Fatalf("falling edge fired %v", fired)
+	}
+	v["m1"] = "UP"
+	if fired := ts.ObserveChange("m1", v); len(fired) != 1 {
+		t.Fatalf("second rising edge fired %v", fired)
+	}
+}
+
+// TestObserveChangeReset: Reset must clear the primed flag so the next
+// observation again evaluates everything.
+func TestObserveChangeReset(t *testing.T) {
+	specs, err := ParseSpecs("f1 ~(ghost:UP) always\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTriggerSet(specs)
+	if fired := ts.ObserveChange("a", MapView{"a": "X"}); len(fired) != 1 {
+		t.Fatalf("first life fired %v", fired)
+	}
+	ts.Reset()
+	if fired := ts.ObserveChange("a", MapView{"a": "X"}); len(fired) != 1 {
+		t.Fatalf("post-reset observation fired %v, want f1 again", fired)
+	}
+}
+
+func names(specs []Spec) string {
+	s := ""
+	for _, sp := range specs {
+		s += fmt.Sprintf("%s;", sp.Name)
+	}
+	return s
+}

@@ -48,15 +48,39 @@ func (t *Trigger) Fired() bool { return t.fired }
 
 // TriggerSet evaluates a collection of triggers against each view change,
 // in specification order, and returns the names of faults to inject.
+//
+// At construction the specs are compiled into an atom→expression index:
+// for each state machine name, the set of triggers whose expressions
+// mention it. ObserveChange uses the index to re-evaluate only the
+// expressions a single-machine view change can possibly affect, which is
+// what makes the probe's notification path cheap when a study carries many
+// fault specifications.
 type TriggerSet struct {
 	triggers []*Trigger
+	// byMachine maps a state machine name to the indices (ascending, so
+	// specification order is preserved) of the triggers whose expressions
+	// reference it.
+	byMachine map[string][]int
+	// primed is false until the first observation. The first observation
+	// must evaluate every trigger regardless of which machine changed:
+	// each trigger's previous value starts false, so an expression that is
+	// already true in the first view (for example a pure negation over a
+	// still-unknown machine) fires immediately, as the thesis prescribes.
+	primed bool
 }
 
-// NewTriggerSet builds a set from specs, preserving order.
+// NewTriggerSet builds a set from specs, preserving order, and compiles the
+// atom→expression index.
 func NewTriggerSet(specs []Spec) *TriggerSet {
-	ts := &TriggerSet{triggers: make([]*Trigger, len(specs))}
+	ts := &TriggerSet{
+		triggers:  make([]*Trigger, len(specs)),
+		byMachine: make(map[string][]int),
+	}
 	for i, s := range specs {
 		ts.triggers[i] = NewTrigger(s)
+		for _, m := range Machines(s.Expr) {
+			ts.byMachine[m] = append(ts.byMachine[m], i)
+		}
 	}
 	return ts
 }
@@ -64,6 +88,7 @@ func NewTriggerSet(specs []Spec) *TriggerSet {
 // Observe feeds a new view to every trigger and returns the specs that fired,
 // in specification order.
 func (ts *TriggerSet) Observe(v View) []Spec {
+	ts.primed = true
 	var fired []Spec
 	for _, t := range ts.triggers {
 		if t.Observe(v) {
@@ -73,8 +98,31 @@ func (ts *TriggerSet) Observe(v View) []Spec {
 	return fired
 }
 
+// ObserveChange feeds a view change that affected only the named machine,
+// re-evaluating just the triggers whose expressions mention it — skipped
+// expressions cannot have changed value, so their edge state stays correct.
+// The first observation evaluates everything (see primed). Firing order is
+// specification order, exactly as Observe.
+func (ts *TriggerSet) ObserveChange(machine string, v View) []Spec {
+	if !ts.primed {
+		return ts.Observe(v)
+	}
+	idx := ts.byMachine[machine]
+	if len(idx) == 0 {
+		return nil
+	}
+	var fired []Spec
+	for _, i := range idx {
+		if ts.triggers[i].Observe(v) {
+			fired = append(fired, ts.triggers[i].Spec())
+		}
+	}
+	return fired
+}
+
 // Reset restores every trigger to its start-of-experiment state.
 func (ts *TriggerSet) Reset() {
+	ts.primed = false
 	for _, t := range ts.triggers {
 		t.Reset()
 	}

@@ -1,0 +1,151 @@
+// Benchmarks for the chaos subsystem's matrix engine. See EXPERIMENTS.md
+// for the recorded figures; the JSON emitter below regenerates
+// BENCH_chaos.json.
+//
+//	go test -bench='BenchmarkChaos' -benchmem
+package loki_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	loki "repro"
+	"repro/internal/apps/election"
+)
+
+// chaosMatrix builds a partition-heavy election matrix: every machine
+// carries a partition-on-LEAD action fault (its host is split off for
+// 10 ms, then healed), expanded over two seeds.
+func chaosMatrix(t testing.TB, experiments int) *loki.Matrix {
+	peers := []string{"black", "green", "yellow"}
+	hosts := map[string]string{"black": "h1", "green": "h2", "yellow": "h3"}
+	doc := ""
+	for _, nick := range peers {
+		doc += fmt.Sprintf("%s %ssplit (%s:LEAD) once partition(%s) 10ms\n",
+			nick, nick[:1], nick, hosts[nick])
+	}
+	faults, err := loki.ParseScenarioFaults(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &loki.Matrix{
+		Name:      "partition-heavy",
+		Scenarios: []loki.Scenario{{Name: "netsplit", Faults: faults}},
+		Seeds:     []int64{1, 2},
+		Build: func(p loki.MatrixPoint) (*loki.Study, error) {
+			var nodes []loki.NodeDef
+			for i, nick := range peers {
+				in := election.New(election.Config{
+					Peers:  peers,
+					RunFor: 25 * time.Millisecond,
+					Seed:   p.Seed + int64(i),
+				})
+				nodes = append(nodes, loki.NodeDef{
+					Nickname: nick,
+					Spec:     election.SpecFor(nick, peers),
+					App:      in,
+				})
+			}
+			return &loki.Study{
+				Nodes:       nodes,
+				Experiments: experiments,
+				Timeout:     5 * time.Second,
+				Placement: []loki.NodeEntry{
+					{Nickname: "black", Host: "h1"},
+					{Nickname: "green", Host: "h2"},
+					{Nickname: "yellow", Host: "h3"},
+				},
+			}, nil
+		},
+	}
+}
+
+func chaosCampaign(workers int) *loki.Campaign {
+	return &loki.Campaign{
+		Name: "chaos-bench",
+		Hosts: []loki.HostDef{
+			{Name: "h1", Clock: loki.ClockConfig{}},
+			{Name: "h2", Clock: loki.ClockConfig{Offset: 4e6, DriftPPM: 60}},
+			{Name: "h3", Clock: loki.ClockConfig{Offset: -2e6, DriftPPM: -35}},
+		},
+		Workers: workers,
+		Sync:    loki.SyncConfig{Messages: 4, Transit: 20 * time.Microsecond, Spacing: time.Millisecond},
+	}
+}
+
+// BenchmarkChaosMatrix measures matrix-engine throughput (full pipeline,
+// partition actions firing) at several worker counts.
+func BenchmarkChaosMatrix(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			const perPoint = 4 // x2 seeds = 8 experiments per matrix
+			b.ReportAllocs()
+			start := time.Now()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				out, err := loki.RunMatrix(chaosCampaign(workers), chaosMatrix(b, perPoint))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, n := out.AcceptedTotal()
+				total += n
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(total)/elapsed, "experiments/sec")
+			}
+		})
+	}
+}
+
+// TestEmitChaosBenchJSON regenerates BENCH_chaos.json, the matrix-engine
+// throughput record referenced by EXPERIMENTS.md. Skipped in -short mode.
+func TestEmitChaosBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping bench JSON emission in short mode")
+	}
+	type row struct {
+		Workers        int     `json:"workers"`
+		Experiments    int     `json:"experiments"`
+		ElapsedSec     float64 `json:"elapsed_sec"`
+		ExperimentsSec float64 `json:"experiments_per_sec"`
+		Accepted       int     `json:"accepted"`
+	}
+	type doc struct {
+		Name      string  `json:"name"`
+		Scenario  string  `json:"scenario"`
+		Rows      []row   `json:"rows"`
+		SpeedupX8 float64 `json:"speedup_8_vs_1"`
+	}
+	const perPoint = 8 // x2 seeds = 16 experiments
+	out := doc{Name: "chaos-matrix-throughput", Scenario: "partition-on-LEAD, 10ms auto-heal"}
+	for _, workers := range []int{1, 4, 8} {
+		start := time.Now()
+		res, err := loki.RunMatrix(chaosCampaign(workers), chaosMatrix(t, perPoint))
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start).Seconds()
+		accepted, total := res.AcceptedTotal()
+		out.Rows = append(out.Rows, row{
+			Workers:        workers,
+			Experiments:    total,
+			ElapsedSec:     elapsed,
+			ExperimentsSec: float64(total) / elapsed,
+			Accepted:       accepted,
+		})
+		t.Logf("workers=%d: %.2f experiments/sec (%d/%d accepted)",
+			workers, float64(total)/elapsed, accepted, total)
+	}
+	out.SpeedupX8 = out.Rows[2].ExperimentsSec / out.Rows[0].ExperimentsSec
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_chaos.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -87,6 +87,12 @@ func main() {
 	if !rec.Completed {
 		log.Fatal("experiment timed out; no artifacts written")
 	}
+	if rec.AnalysisError != "" {
+		// The analysis phase discarded the run (e.g. infeasible clock
+		// synchronization after a clockstep fault): its artifacts cannot
+		// be trusted, so keep the pre-chaos fatal behaviour.
+		log.Fatalf("experiment discarded by analysis: %s", rec.AnalysisError)
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)

@@ -8,12 +8,18 @@
 // Usage:
 //
 //	lokirun -nodes nodes.txt [-faults faults.txt] [-app election|replica]
+//	        [-scenarios chaos.txt -scenario NAME]
 //	        [-experiments N] [-runfor 150ms] [-dormancy 10ms] [-restart]
 //	        [-seed 1] [-workers N] [-out DIR]
 //
 // The node file is the §3.5.1 format ("<nick> [<host>]"); the fault file
-// holds "<machine> <name> <expr> <once|always>" lines. Injected faults
-// crash the target after the dormancy.
+// holds "<machine> <name> <expr> <once|always> [action(args) [for]]"
+// lines. Injected faults without an action crash the target after the
+// dormancy; faults naming a built-in chaos action (partition, drop, delay,
+// duplicate, corrupt, crash, crashrestart, clockstep) execute that action
+// instead. -scenarios/-scenario overlay a named chaos scenario from a
+// scenario spec file ("scenario <name> ... end" blocks of such fault
+// lines) onto the study.
 package main
 
 import (
@@ -34,16 +40,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lokirun: ")
 	var (
-		nodesPath   = flag.String("nodes", "", "node file (required): '<nick> [<host>]' per line")
-		faultsPath  = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always>' per line")
-		app         = flag.String("app", "election", "built-in application: election or replica")
-		experiments = flag.Int("experiments", 3, "experiments to run")
-		runFor      = flag.Duration("runfor", 150*time.Millisecond, "application run time per experiment")
-		dormancy    = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy (0 = immediate crash)")
-		restart     = flag.Bool("restart", false, "restart crashed nodes once (supervisor)")
-		seed        = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
-		workers     = flag.Int("workers", 0, "concurrent experiment executors (0 = GOMAXPROCS)")
-		outDir      = flag.String("out", "", "artifact directory (default: none written)")
+		nodesPath    = flag.String("nodes", "", "node file (required): '<nick> [<host>]' per line")
+		faultsPath   = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always> [action]' per line")
+		scenarioFile = flag.String("scenarios", "", "chaos scenario spec file ('scenario <name> ... end' blocks)")
+		scenarioName = flag.String("scenario", "", "named chaos scenario to overlay (requires -scenarios)")
+		app          = flag.String("app", "election", "built-in application: election or replica")
+		experiments  = flag.Int("experiments", 3, "experiments to run")
+		runFor       = flag.Duration("runfor", 150*time.Millisecond, "application run time per experiment")
+		dormancy     = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy (0 = immediate crash)")
+		restart      = flag.Bool("restart", false, "restart crashed nodes once (supervisor)")
+		seed         = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
+		workers      = flag.Int("workers", 0, "concurrent experiment executors (0 = GOMAXPROCS)")
+		outDir       = flag.String("out", "", "artifact directory (default: none written)")
 	)
 	flag.Parse()
 	if *nodesPath == "" {
@@ -83,6 +91,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *scenarioName != "" || *scenarioFile != "" {
+		if *scenarioName == "" || *scenarioFile == "" {
+			log.Fatal("-scenario and -scenarios must be given together")
+		}
+		doc, err := cli.ReadFile(*scenarioFile, "scenario file")
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios, err := cli.ParseScenarioFile(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := cli.FindScenario(scenarios, *scenarioName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sc.ApplyTo(study); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chaos scenario %s: %d fault entries overlaid\n", sc.Name, len(sc.Faults))
+	}
 	c := &loki.Campaign{
 		Name:    "lokirun",
 		Hosts:   cli.HostsFor(nodes, *seed),
@@ -100,6 +129,9 @@ func main() {
 		sr.Name, len(sr.Records), sr.AcceptanceRate())
 	for _, rec := range sr.Records {
 		fmt.Printf("experiment %d: completed=%v accepted=%v\n", rec.Index, rec.Completed, rec.Accepted)
+		if rec.AnalysisError != "" {
+			fmt.Printf("  discarded by analysis: %s\n", rec.AnalysisError)
+		}
 		if rec.Report != nil {
 			for _, chk := range rec.Report.Injections {
 				fmt.Printf("  %s on %s at %v: correct=%v\n", chk.Fault, chk.Machine, chk.At, chk.Correct)

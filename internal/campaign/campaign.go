@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/clocksync"
 	"repro/internal/core"
 	"repro/internal/faultexpr"
@@ -44,6 +45,12 @@ type Study struct {
 	// Restarts configures the supervisor that restarts crashed nodes
 	// during an experiment (nil: crashed nodes stay down).
 	Restarts *RestartPolicy
+	// ChaosSeed seeds the randomness of built-in chaos actions (fault
+	// entries with an action call). A chaos engine is attached to every
+	// worker runtime whenever any node carries such a fault; the seed is
+	// re-applied at each experiment reset, so every experiment faces an
+	// identically seeded network.
+	ChaosSeed int64
 }
 
 // Campaign is a full fault injection campaign (§2.2.3).
@@ -79,6 +86,12 @@ type ExperimentRecord struct {
 	// Accepted experiments (completed, all injections provably correct)
 	// feed measure estimation (§2.6).
 	Accepted bool
+	// AnalysisError, when non-empty, says why the analysis phase could
+	// not process the experiment at all — e.g. infeasible clock
+	// synchronization after a clockstep fault. Such experiments are
+	// discarded (Accepted false), not fatal: rejecting unverifiable runs
+	// is the analysis phase's job.
+	AnalysisError string
 }
 
 // StudyResult aggregates a study's experiments.
@@ -174,6 +187,7 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 	}
 	defer rt.Shutdown()
 
+	rt.ResetExperiment() // pre-sync must see a clean testbed (see runRuntimePhase)
 	stamps := exchangeStamps(rt, ref, c.Sync)
 	var sup *supervisor
 	if st.Restarts != nil {
@@ -193,12 +207,14 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 	if rec.Completed {
 		bounds, err := clocksync.EstimateAll(stamps, ref)
 		if err != nil {
-			return nil, nil, nil, err
+			rec.AnalysisError = fmt.Sprintf("clock sync: %v", err)
+			return rec, stamps, locals, nil
 		}
 		rec.Bounds = bounds
 		g, err := analysis.Build(ref, bounds, locals)
 		if err != nil {
-			return nil, nil, nil, err
+			rec.AnalysisError = fmt.Sprintf("global timeline: %v", err)
+			return rec, stamps, locals, nil
 		}
 		rec.Global = g
 		rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(locals), c.Check)
@@ -220,8 +236,9 @@ type rawExperiment struct {
 }
 
 // newStudyRuntime builds one worker's private runtime: its own virtual
-// host set (clocks included) and node registrations, so concurrent
-// experiments share no mutable runtime state.
+// host set (clocks included), node registrations, and — when the study
+// carries action faults — its own chaos engine, so concurrent experiments
+// share no mutable runtime state.
 func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon, string, error) {
 	// core.New defaults a nil Source to a fresh SystemSource, giving each
 	// worker its own time base unless the campaign supplies a shared one.
@@ -234,6 +251,13 @@ func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon
 			rt.Shutdown()
 			return nil, nil, "", err
 		}
+	}
+	if chaos.HasActionFaults(st.Nodes) {
+		if err := chaos.ValidateSpecs(st.Nodes, rt.Hosts()); err != nil {
+			rt.Shutdown()
+			return nil, nil, "", err
+		}
+		chaos.Attach(rt, st.ChaosSeed)
 	}
 	return rt, core.NewCentralDaemon(rt), referenceHost(rt), nil
 }
@@ -358,6 +382,14 @@ func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
 func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralDaemon,
 	ref string, index int, timeout time.Duration) (*rawExperiment, error) {
 
+	// Reset BEFORE the pre-sync mini-phase: the previous experiment's
+	// faults (a stepped clock above all) must not leak into this
+	// experiment's synchronization stamps, or its clock fit would be
+	// spuriously infeasible depending on which worker ran what.
+	// RunExperiment resets again internally; the second reset is a no-op
+	// by then.
+	rt.ResetExperiment()
+
 	// Pre-experiment synchronization mini-phase (§2.3).
 	stamps := exchangeStamps(rt, ref, c.Sync)
 
@@ -405,12 +437,17 @@ func analyzeExperiment(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentR
 	}
 	bounds, err := clocksync.EstimateAll(raw.stamps, raw.ref)
 	if err != nil {
-		return nil, fmt.Errorf("experiment %d: clock sync: %w", raw.index, err)
+		// Infeasible synchronization — a stepped or otherwise non-affine
+		// clock — means nothing about this run can be verified: discard
+		// it, as the analysis phase discards unprovable injections.
+		rec.AnalysisError = fmt.Sprintf("clock sync: %v", err)
+		return rec, nil
 	}
 	rec.Bounds = bounds
 	g, err := analysis.Build(raw.ref, bounds, raw.locals)
 	if err != nil {
-		return nil, fmt.Errorf("experiment %d: global timeline: %w", raw.index, err)
+		rec.AnalysisError = fmt.Sprintf("global timeline: %v", err)
+		return rec, nil
 	}
 	rec.Global = g
 	rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(raw.locals), c.Check)

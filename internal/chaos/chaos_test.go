@@ -1,0 +1,368 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultexpr"
+	"repro/internal/simnet"
+	"repro/internal/spec"
+	"repro/internal/vclock"
+)
+
+func mustCall(t *testing.T, src string) *faultexpr.ActionCall {
+	t.Helper()
+	call, err := faultexpr.ParseActionCall(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return call
+}
+
+func mustAction(t *testing.T, src string) Action {
+	t.Helper()
+	a, err := ParseAction(mustCall(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestParseActionRegistry(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"partition(h1|h2,h3)", "partition"},
+		{"heal()", "heal"},
+		{"drop(h1,h2,0.5)", "drop"},
+		{"delay(*,h2,5ms,1ms)", "delay"},
+		{"duplicate(h1,*,0.3,2)", "duplicate"},
+		{"corrupt(h1,h2,0.1)", "corrupt"},
+		{"crash(h1)", "crash"},
+		{"crashrestart(h1,20ms)", "crashrestart"},
+		{"clockstep(h2,-3ms)", "clockstep"},
+	}
+	for _, c := range cases {
+		a := mustAction(t, c.src)
+		if a.Name() != c.want {
+			t.Errorf("%s: Name() = %q, want %q", c.src, a.Name(), c.want)
+		}
+	}
+}
+
+func TestParseActionErrors(t *testing.T) {
+	bad := []string{
+		"teleport(h1)",           // unknown action
+		"drop(h1,h2)",            // missing probability
+		"drop(h1,h2,1.5)",        // probability out of range
+		"delay(h1,h2,xyz)",       // bad duration
+		"duplicate(h1,h2,0.5,0)", // zero copies
+		"crash()",                // missing host
+		"crashrestart(h1,0s)",    // non-positive restart delay
+		"clockstep(h1)",          // missing delta
+		"partition()",            // no groups
+	}
+	for _, src := range bad {
+		if _, err := ParseAction(mustCall(t, src)); err == nil {
+			t.Errorf("%s: want parse error", src)
+		}
+	}
+}
+
+func TestHostRefs(t *testing.T) {
+	cases := map[string][]string{
+		"partition(h1|h2,h3)":  {"h1", "h2", "h3"},
+		"heal(h1|h2)":          {"h1", "h2"},
+		"drop(h1,*,0.5)":       {"h1"},
+		"delay(*,*,1ms)":       nil,
+		"duplicate(h1,h2,1)":   {"h1", "h2"},
+		"corrupt(*,h3,0.2)":    {"h3"},
+		"crash(h2)":            {"h2"},
+		"crashrestart(h2,1ms)": {"h2"},
+		"clockstep(h3,1ms)":    {"h3"},
+	}
+	for src, want := range cases {
+		got := HostRefs(mustAction(t, src))
+		if len(got) != len(want) {
+			t.Errorf("%s: HostRefs = %v, want %v", src, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: HostRefs = %v, want %v", src, got, want)
+			}
+		}
+	}
+}
+
+func TestValidateSpecsRejectsUnknownHost(t *testing.T) {
+	fault, ok, err := faultexpr.ParseSpecLine("cut (a:UP) once partition(h9|h1)")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	defs := []core.NodeDef{{Nickname: "a", Faults: []faultexpr.Spec{fault}}}
+	if err := ValidateSpecs(defs, []string{"h1", "h2"}); err == nil {
+		t.Error("unknown host h9 passed validation")
+	}
+	// Without a host list only syntax is checked.
+	if err := ValidateSpecs(defs, nil); err != nil {
+		t.Errorf("syntax-only validation failed: %v", err)
+	}
+	// Wildcards are always legal.
+	wild, ok, err := faultexpr.ParseSpecLine("d (a:UP) always drop(*,h1,0.5)")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	defs[0].Faults = []faultexpr.Spec{wild}
+	if err := ValidateSpecs(defs, []string{"h1"}); err != nil {
+		t.Errorf("wildcard link rejected: %v", err)
+	}
+}
+
+// simEnv builds a 3-host DES testbed with a sink endpoint per host
+// counting deliveries.
+func simEnv(t *testing.T) (*simnet.Sim, *SimEnv, map[string]*int) {
+	t.Helper()
+	sim := simnet.NewSim(7)
+	net := simnet.NewNetwork(sim, simnet.NetworkConfig{Remote: simnet.Constant(100_000)})
+	counts := make(map[string]*int)
+	for _, h := range []string{"h1", "h2", "h3"} {
+		host := net.AddHost(h, vclock.ClockConfig{})
+		n := new(int)
+		counts[h] = n
+		host.Bind("sink", func(simnet.Message) { *n++ })
+	}
+	return sim, NewSimEnv(net), counts
+}
+
+func sendAll(net *simnet.Network) {
+	for _, from := range []string{"h1", "h2", "h3"} {
+		for _, to := range []string{"h1", "h2", "h3"} {
+			if from != to {
+				net.Send(simnet.Address{Host: from, Name: "src"}, simnet.Address{Host: to, Name: "sink"}, "m")
+			}
+		}
+	}
+}
+
+func TestPartitionActionOnSim(t *testing.T) {
+	sim, env, counts := simEnv(t)
+	a := mustAction(t, "partition(h1|h2,h3)")
+	if err := a.Apply(env); err != nil {
+		t.Fatal(err)
+	}
+	sendAll(env.Network())
+	sim.Run()
+	// h1 is cut from h2 and h3: it receives nothing; h2<->h3 still flows.
+	if *counts["h1"] != 0 {
+		t.Errorf("h1 received %d messages across the split", *counts["h1"])
+	}
+	if *counts["h2"] != 1 || *counts["h3"] != 1 {
+		t.Errorf("h2/h3 = %d/%d, want 1/1 (h3<->h2 only)", *counts["h2"], *counts["h3"])
+	}
+
+	if err := a.Revert(env); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range counts {
+		*n = 0
+	}
+	sendAll(env.Network())
+	sim.Run()
+	for h, n := range counts {
+		if *n != 2 {
+			t.Errorf("after revert %s received %d, want 2", h, *n)
+		}
+	}
+}
+
+func TestSingleGroupPartitionIsolates(t *testing.T) {
+	sim, env, counts := simEnv(t)
+	if err := mustAction(t, "partition(h2)").Apply(env); err != nil {
+		t.Fatal(err)
+	}
+	sendAll(env.Network())
+	sim.Run()
+	if *counts["h2"] != 0 {
+		t.Errorf("isolated h2 received %d", *counts["h2"])
+	}
+	if *counts["h1"] != 1 || *counts["h3"] != 1 {
+		t.Errorf("h1/h3 = %d/%d, want 1/1", *counts["h1"], *counts["h3"])
+	}
+}
+
+func TestHealActionOnSim(t *testing.T) {
+	sim, env, counts := simEnv(t)
+	mustAction(t, "partition(h1|h2|h3)").Apply(env)
+	mustAction(t, "heal()").Apply(env)
+	sendAll(env.Network())
+	sim.Run()
+	for h, n := range counts {
+		if *n != 2 {
+			t.Errorf("after heal() %s received %d, want 2", h, *n)
+		}
+	}
+}
+
+func TestLinkActionsInstallAndRevert(t *testing.T) {
+	sim, env, counts := simEnv(t)
+	drop := mustAction(t, "drop(h1,h2,1)")
+	if err := drop.Apply(env); err != nil {
+		t.Fatal(err)
+	}
+	sendAll(env.Network())
+	sim.Run()
+	if *counts["h2"] != 1 { // lost the h1->h2 message, kept h3->h2
+		t.Errorf("h2 received %d, want 1", *counts["h2"])
+	}
+	if err := drop.Revert(env); err != nil {
+		t.Fatal(err)
+	}
+	*counts["h2"] = 0
+	sendAll(env.Network())
+	sim.Run()
+	if *counts["h2"] != 2 {
+		t.Errorf("after revert h2 received %d, want 2", *counts["h2"])
+	}
+}
+
+func TestCrashRestartOnSim(t *testing.T) {
+	sim, env, counts := simEnv(t)
+	// SimEnv has no node runtime: crashrestart degrades to down-then-up.
+	a := mustAction(t, "crashrestart(h2,1ms)")
+	if err := a.Apply(env); err != nil {
+		t.Fatal(err)
+	}
+	sendAll(env.Network())
+	sim.Run() // runs the restart timer too (virtual time)
+	if *counts["h2"] != 0 {
+		t.Errorf("down host received %d", *counts["h2"])
+	}
+	if env.Network().Host("h2").Down() {
+		t.Error("host still down after scheduled restart")
+	}
+}
+
+func TestClockStepOnSim(t *testing.T) {
+	_, env, _ := simEnv(t)
+	clock := env.Network().Host("h3").Clock()
+	before := clock.Now()
+	if err := mustAction(t, "clockstep(h3,5ms)").Apply(env); err != nil {
+		t.Fatal(err)
+	}
+	after := clock.Now()
+	if diff := after - before; diff < vclock.FromMillis(5) {
+		t.Errorf("clock advanced by %v, want >= 5ms", diff.Duration())
+	}
+}
+
+func TestEngineDispatchAndAutoRevert(t *testing.T) {
+	sim, env, counts := simEnv(t)
+	e := NewEngine(env)
+	spec, ok, err := faultexpr.ParseSpecLine("cut (a:X) once partition(h1|h2,h3) 2ms")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	e.Dispatch(spec)
+	sendAll(env.Network())
+	sim.Run() // delivers the sends and then the 2ms revert timer
+	if *counts["h1"] != 0 {
+		t.Errorf("h1 received %d during the split", *counts["h1"])
+	}
+	sendAll(env.Network())
+	sim.Run()
+	if *counts["h1"] != 2 {
+		t.Errorf("after auto-revert h1 received %d, want 2", *counts["h1"])
+	}
+}
+
+// TestOverlappingRevertWindowsExtend: when an `always` fault re-fires
+// inside its own auto-revert window, the earlier pending revert must not
+// cut the refreshed fault short — the latest firing's window governs.
+func TestOverlappingRevertWindowsExtend(t *testing.T) {
+	sim, env, counts := simEnv(t)
+	e := NewEngine(env)
+	spec, ok, err := faultexpr.ParseSpecLine("flaky (a:X) always drop(h1,h2,1) 2ms")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	e.Dispatch(spec) // t=0: window [0, 2ms)
+	env.After(time.Millisecond, func() {
+		e.Dispatch(spec) // t=1ms: window extends to [1ms, 3ms)
+		// t=2.5ms: inside the second window; the first revert (t=2ms)
+		// must not have removed the filter.
+		env.After(1500*time.Microsecond, func() { sendAll(env.Network()) })
+	})
+	sim.Run()
+	if *counts["h2"] != 1 { // h1->h2 still dropped; only h3->h2 arrives
+		t.Errorf("h2 received %d at t=2.5ms, want 1 (drop window cut short by stale revert)", *counts["h2"])
+	}
+	// After the second window expires the link is clean again.
+	sendAll(env.Network())
+	sim.Run()
+	if *counts["h2"] != 3 {
+		t.Errorf("h2 received %d after expiry, want 3", *counts["h2"])
+	}
+}
+
+func TestAttachDrivesRuntimePartition(t *testing.T) {
+	rt := core.New(core.Config{})
+	defer rt.Shutdown()
+	rt.AddHost("h1", vclock.ClockConfig{})
+	rt.AddHost("h2", vclock.ClockConfig{})
+	Attach(rt, 1)
+
+	sm, err := spec.ParseStateMachine(`
+global_state_list
+  BEGIN
+  UP
+  CRASH
+  EXIT
+end_global_state_list
+event_list
+  GO
+end_event_list
+state UP
+state CRASH
+state EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault, ok, err := faultexpr.ParseSpecLine("cut (a:UP) once partition(h1|h2)")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	if err := rt.Register(core.NodeDef{
+		Nickname: "a", Spec: sm, Faults: []faultexpr.Spec{fault},
+		App: appFunc(func(h *core.Handle) {
+			h.NotifyEvent("UP")
+			close(ready)
+			<-h.Done()
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.StartNode("a", "h1"); err != nil {
+		t.Fatal(err)
+	}
+	<-ready
+	// The fault fired on UP; the partition must now be installed.
+	deadline := time.Now().Add(2 * time.Second)
+	for !rt.HostsPartitioned("h1", "h2") {
+		if time.Now().After(deadline) {
+			t.Fatal("partition never installed by the dispatched action")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rt.KillAll()
+}
+
+// appFunc adapts a function to core.App with a no-op InjectFault.
+type appFunc func(h *core.Handle)
+
+func (f appFunc) Main(h *core.Handle)            { f(h) }
+func (appFunc) InjectFault(*core.Handle, string) {}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// RuntimeEnv adapts a live core.Runtime to the Env interface: network
+// actions interpose on the application bus, host actions go through the
+// hostfail path (CrashHost/RebootHost), and deferred work is scoped to the
+// current experiment.
+type RuntimeEnv struct {
+	rt *core.Runtime
+	// Log receives action diagnostics; nil discards them.
+	Log func(format string, args ...interface{})
+}
+
+// NewRuntimeEnv wraps a runtime.
+func NewRuntimeEnv(rt *core.Runtime) *RuntimeEnv { return &RuntimeEnv{rt: rt} }
+
+// Runtime returns the wrapped runtime.
+func (e *RuntimeEnv) Runtime() *core.Runtime { return e.rt }
+
+// Hosts implements Env.
+func (e *RuntimeEnv) Hosts() []string { return e.rt.Hosts() }
+
+// Partition implements Env.
+func (e *RuntimeEnv) Partition(a, b string) { e.rt.PartitionHosts(a, b) }
+
+// Heal implements Env.
+func (e *RuntimeEnv) Heal(a, b string) { e.rt.HealHosts(a, b) }
+
+// HealAll implements Env.
+func (e *RuntimeEnv) HealAll() { e.rt.HealAllPartitions() }
+
+// InstallFilter implements Env.
+func (e *RuntimeEnv) InstallFilter(link simnet.Link, id string, f simnet.Filter) {
+	e.rt.InstallLinkFilter(link, id, f)
+}
+
+// RemoveFilter implements Env.
+func (e *RuntimeEnv) RemoveFilter(link simnet.Link, id string) bool {
+	return e.rt.RemoveLinkFilter(link, id)
+}
+
+// CrashHost implements Env.
+func (e *RuntimeEnv) CrashHost(host string) error { return e.rt.CrashHost(host) }
+
+// RestartHost implements Env.
+func (e *RuntimeEnv) RestartHost(host string) error { return e.rt.RebootHost(host) }
+
+// NodesOn implements Env.
+func (e *RuntimeEnv) NodesOn(host string) []string { return e.rt.NodesOnHost(host) }
+
+// StartNode implements Env.
+func (e *RuntimeEnv) StartNode(nick, host string) error {
+	_, err := e.rt.StartNode(nick, host)
+	return err
+}
+
+// StepClock implements Env.
+func (e *RuntimeEnv) StepClock(host string, delta vclock.Ticks) error {
+	return e.rt.StepHostClock(host, delta)
+}
+
+// After implements Env via the runtime's experiment-scoped timer.
+func (e *RuntimeEnv) After(d time.Duration, fn func()) { e.rt.ExpAfterFunc(d, fn) }
+
+// Logf implements Env.
+func (e *RuntimeEnv) Logf(format string, args ...interface{}) {
+	if e.Log != nil {
+		e.Log(format, args...)
+	}
+}
+
+// SimEnv adapts a discrete-event simnet.Network to the Env interface, so
+// the same actions drive DES studies. There is no node runtime on this
+// testbed: NodesOn is empty and StartNode fails, so CrashRestart degrades
+// to host down-then-up.
+type SimEnv struct {
+	net *simnet.Network
+	// Log receives action diagnostics; nil discards them.
+	Log func(format string, args ...interface{})
+}
+
+// NewSimEnv wraps a network.
+func NewSimEnv(net *simnet.Network) *SimEnv { return &SimEnv{net: net} }
+
+// Network returns the wrapped network.
+func (e *SimEnv) Network() *simnet.Network { return e.net }
+
+// Hosts implements Env.
+func (e *SimEnv) Hosts() []string { return e.net.Hosts() }
+
+// Partition implements Env.
+func (e *SimEnv) Partition(a, b string) { e.net.Partition(a, b) }
+
+// Heal implements Env.
+func (e *SimEnv) Heal(a, b string) { e.net.Heal(a, b) }
+
+// HealAll implements Env.
+func (e *SimEnv) HealAll() { e.net.HealAll() }
+
+// InstallFilter implements Env.
+func (e *SimEnv) InstallFilter(link simnet.Link, id string, f simnet.Filter) {
+	e.net.InstallFilter(link, id, f)
+}
+
+// RemoveFilter implements Env.
+func (e *SimEnv) RemoveFilter(link simnet.Link, id string) bool {
+	return e.net.RemoveFilter(link, id)
+}
+
+// CrashHost implements Env.
+func (e *SimEnv) CrashHost(host string) error {
+	h := e.net.Host(host)
+	if h == nil {
+		return fmt.Errorf("chaos: unknown host %q", host)
+	}
+	h.SetDown(true)
+	return nil
+}
+
+// RestartHost implements Env.
+func (e *SimEnv) RestartHost(host string) error {
+	h := e.net.Host(host)
+	if h == nil {
+		return fmt.Errorf("chaos: unknown host %q", host)
+	}
+	h.SetDown(false)
+	return nil
+}
+
+// NodesOn implements Env: the DES testbed has no node runtime.
+func (e *SimEnv) NodesOn(string) []string { return nil }
+
+// StartNode implements Env: the DES testbed has no node runtime.
+func (e *SimEnv) StartNode(nick, host string) error {
+	return fmt.Errorf("chaos: SimEnv cannot start node %q on %q: no node runtime", nick, host)
+}
+
+// StepClock implements Env.
+func (e *SimEnv) StepClock(host string, delta vclock.Ticks) error {
+	h := e.net.Host(host)
+	if h == nil {
+		return fmt.Errorf("chaos: unknown host %q", host)
+	}
+	h.Clock().Step(delta)
+	return nil
+}
+
+// After implements Env in virtual time.
+func (e *SimEnv) After(d time.Duration, fn func()) {
+	e.net.Sim().After(vclock.FromDuration(d), fn)
+}
+
+// Logf implements Env.
+func (e *SimEnv) Logf(format string, args ...interface{}) {
+	if e.Log != nil {
+		e.Log(format, args...)
+	}
+}

@@ -143,6 +143,10 @@ func BuildStudy(name string, o StudyOptions) (*campaign.Study, error) {
 		Placement:   o.Nodes,
 		Experiments: o.Experiments,
 		Timeout:     o.Timeout,
+		// Action faults in the fault file use built-in chaos actions;
+		// their randomness must follow the study seed like everything
+		// else.
+		ChaosSeed: o.Seed,
 	}
 	if o.Restart {
 		st.Restarts = &campaign.RestartPolicy{After: 5 * time.Millisecond, MaxPerNode: 1}

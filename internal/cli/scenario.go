@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/campaign"
+	"repro/internal/faultexpr"
+)
+
+// Scenario files name chaos configurations a campaign can select with
+// lokirun's -scenario flag:
+//
+//	scenario netsplit
+//	  # machine-prefixed fault lines, action calls allowed
+//	  green gsplit (green:LEAD) once partition(h2|h1,h3) 50ms
+//	end
+//
+//	scenario crashy
+//	  black bcrash (black:LEAD) once crashrestart(h1,20ms)
+//	end
+//
+// Blank lines and '#' comments are ignored. A scenario with no fault lines
+// is a legal baseline.
+
+// ParseScenarioFile parses a scenario specification document.
+func ParseScenarioFile(doc string) ([]campaign.Scenario, error) {
+	var (
+		out     []campaign.Scenario
+		current *campaign.Scenario
+		seen    = map[string]bool{}
+	)
+	for i, raw := range strings.Split(doc, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "scenario":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cli: scenario file line %d: want 'scenario <name>'", i+1)
+			}
+			name := fields[1]
+			if current != nil {
+				return nil, fmt.Errorf("cli: scenario file line %d: scenario %q not closed with 'end'", i+1, current.Name)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("cli: scenario file line %d: duplicate scenario %q", i+1, name)
+			}
+			seen[name] = true
+			current = &campaign.Scenario{Name: name}
+		case line == "end":
+			if current == nil {
+				return nil, fmt.Errorf("cli: scenario file line %d: 'end' without scenario", i+1)
+			}
+			out = append(out, *current)
+			current = nil
+		default:
+			if current == nil {
+				return nil, fmt.Errorf("cli: scenario file line %d: fault line outside a scenario block", i+1)
+			}
+			sp := strings.IndexFunc(line, unicode.IsSpace)
+			if sp < 0 {
+				return nil, fmt.Errorf("cli: scenario file line %d: want '<machine> <name> <expr> <mode> [action]'", i+1)
+			}
+			machine, rest := line[:sp], strings.TrimSpace(line[sp:])
+			fs, present, err := faultexpr.ParseSpecLine(rest)
+			if err != nil || !present {
+				return nil, fmt.Errorf("cli: scenario file line %d: %v", i+1, err)
+			}
+			current.Faults = append(current.Faults, campaign.ScenarioFault{Machine: machine, Spec: fs})
+		}
+	}
+	if current != nil {
+		return nil, fmt.Errorf("cli: scenario file: scenario %q not closed with 'end'", current.Name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cli: scenario file defines no scenarios")
+	}
+	return out, nil
+}
+
+// FindScenario returns the named scenario.
+func FindScenario(scenarios []campaign.Scenario, name string) (campaign.Scenario, error) {
+	var names []string
+	for _, sc := range scenarios {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	return campaign.Scenario{}, fmt.Errorf("cli: unknown scenario %q (have: %s)", name, strings.Join(names, ", "))
+}

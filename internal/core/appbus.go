@@ -21,18 +21,59 @@ const inboxCapacity = 256
 // false when the destination is not a live node or its inbox is full —
 // datagram semantics: the distributed system under study must tolerate
 // loss, that is the point of injecting faults into it.
+//
+// The message first crosses the interposition layer (netem.go): a
+// partition or an installed link filter may silently drop, delay,
+// duplicate, or corrupt it. In-flight losses still report true — like a
+// lost datagram, the sender cannot tell. Filter-chain *verdicts* are
+// identical on both testbeds (simnet.FilterSet), but delivery timing is
+// testbed-specific: this bus has no latency model, so duplicate copies
+// arrive together, where the DES network samples a latency per copy.
 func (h *Handle) Send(to string, payload interface{}) bool {
 	h.node.touch()
 	target := h.node.rt.Node(to)
 	if target == nil {
 		return false
 	}
-	inbox := target.handle.inboxChan()
+	rt := h.node.rt
+	fate, blocked := rt.shapeAppMessage(h.node.Host(), target.Host(), payload)
+	if blocked || fate.Drop {
+		return true // lost in flight; datagram senders are not told
+	}
+	if fate.Payload != nil {
+		payload = fate.Payload
+	}
+	m := AppMessage{From: h.Nickname(), Payload: payload}
+	if fate.Delay > 0 {
+		epoch := rt.Epoch()
+		copies := fate.Copies
+		time.AfterFunc(fate.Delay.Duration(), func() {
+			if rt.Epoch() != epoch {
+				return
+			}
+			for c := 0; c <= copies; c++ {
+				target.handle.deliver(m, "")
+			}
+		})
+		return true
+	}
+	ok := target.handle.deliver(m, h.Nickname())
+	for c := 0; c < fate.Copies; c++ {
+		target.handle.deliver(m, "")
+	}
+	return ok
+}
+
+// deliver places a message in the handle's inbox, non-blocking. from, when
+// non-empty, names the sender for the inbox-full diagnostic.
+func (h *Handle) deliver(m AppMessage, from string) bool {
 	select {
-	case inbox <- AppMessage{From: h.Nickname(), Payload: payload}:
+	case h.inboxChan() <- m:
 		return true
 	default:
-		h.node.rt.cfg.Logf("core: app inbox of %s full; dropping message from %s", to, h.Nickname())
+		if from != "" {
+			h.node.rt.cfg.Logf("core: app inbox of %s full; dropping message from %s", h.Nickname(), from)
+		}
 		return false
 	}
 }

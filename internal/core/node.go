@@ -280,7 +280,10 @@ func (n *Node) remoteNotify(note stateNote) {
 
 // inject performs the demanded injections through the probe (§3.5.5),
 // recording their times. It must be called without mu held: actions are
-// free to call back into the node (h.Crash, h.Note, ...).
+// free to call back into the node (h.Crash, h.Note, ...). Faults naming a
+// built-in action dispatch to the fault-action hook (the chaos engine)
+// when one is installed; otherwise they fall back to the application
+// callback like any other fault.
 func (n *Node) inject(fired []faultexpr.Spec) {
 	for _, f := range fired {
 		if atomic.LoadInt32(&n.lifecycle) != lcRunning {
@@ -288,6 +291,12 @@ func (n *Node) inject(fired []faultexpr.Spec) {
 		}
 		at := n.recorder.Now()
 		n.recorder.RecordInjection(f.Name, at)
+		if f.Action != nil {
+			if hook := n.rt.faultActionHook(); hook != nil {
+				hook(n, f)
+				continue
+			}
+		}
 		n.def.App.InjectFault(n.handle, f.Name)
 	}
 }

@@ -64,15 +64,21 @@ type Runtime struct {
 	cfg    Config
 	source vclock.Source
 
-	mu       sync.Mutex
-	hosts    map[string]*hostState
-	defs     map[string]*NodeDef
-	nodes    map[string]*Node // live nodes by nickname
-	store    *timeline.Store  // the "NFS-mounted" timeline repository (§3.8)
-	outcomes map[string]string
-	active   int
-	cond     *sync.Cond
-	stopped  bool
+	// netem is the application-bus traffic shaping state (netem.go); it
+	// has its own lock and is consulted on every Handle.Send.
+	netem *netem
+
+	mu         sync.Mutex
+	hosts      map[string]*hostState
+	defs       map[string]*NodeDef
+	nodes      map[string]*Node // live nodes by nickname
+	store      *timeline.Store  // the "NFS-mounted" timeline repository (§3.8)
+	outcomes   map[string]string
+	active     int
+	cond       *sync.Cond
+	stopped    bool
+	sealed     bool                            // experiment over; no nodes may start until reset
+	actionHook func(n *Node, f faultexpr.Spec) // built-in action dispatcher (netem.go)
 }
 
 type hostState struct {
@@ -103,6 +109,7 @@ func New(cfg Config) *Runtime {
 	r := &Runtime{
 		cfg:      cfg,
 		source:   cfg.Source,
+		netem:    newNetem(1),
 		hosts:    make(map[string]*hostState),
 		defs:     make(map[string]*NodeDef),
 		nodes:    make(map[string]*Node),
@@ -115,6 +122,10 @@ func New(cfg Config) *Runtime {
 
 // Source returns the runtime's physical time base.
 func (r *Runtime) Source() vclock.Source { return r.source }
+
+// Logf forwards to the runtime's configured diagnostic sink (Config.Logf;
+// a no-op by default). The chaos engine reports action failures here.
+func (r *Runtime) Logf(format string, args ...interface{}) { r.cfg.Logf(format, args...) }
 
 // AddHost adds a virtual host with the given hidden clock error and starts
 // its local daemon. Duplicate names are a configuration bug and panic.
@@ -202,6 +213,10 @@ func (r *Runtime) StartNode(nickname, host string) (*Node, error) {
 	if r.stopped {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("core: runtime is stopped")
+	}
+	if r.sealed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("core: experiment is sealed; node %q may not start", nickname)
 	}
 
 	local := r.store.Get(nickname)
@@ -376,17 +391,42 @@ func (r *Runtime) Outcomes() map[string]string {
 	return out
 }
 
-// ResetExperiment clears per-experiment state (the timeline store and the
-// outcome table) so the runtime can host the next experiment of a study.
-// It must not be called while nodes are live.
+// ResetExperiment clears per-experiment state (the timeline store, the
+// outcome table, app-bus traffic shaping, and host down flags) so the
+// runtime can host the next experiment of a study. It must not be called
+// while nodes are live.
 func (r *Runtime) ResetExperiment() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if len(r.nodes) > 0 {
+		r.mu.Unlock()
 		panic("core: ResetExperiment with live nodes")
 	}
 	r.store.Reset()
 	r.outcomes = make(map[string]string)
+	r.sealed = false
+	// Crashed hosts reboot and stepped clocks are restored between
+	// experiments: each experiment starts on a healthy testbed, whatever
+	// faults the last one injected — otherwise one experiment's clockstep
+	// would poison every later experiment on this runtime, making
+	// accepted sets depend on which worker ran it.
+	for _, hs := range r.hosts {
+		hs.down = false
+		hs.host.Clock.ClearStep()
+	}
+	r.mu.Unlock()
+	r.netem.reset()
+}
+
+// SealExperiment marks the experiment over: node starts are refused and
+// pending experiment-scoped timers (ExpAfterFunc) are voided, until the
+// next ResetExperiment. The central daemon seals after completion so that
+// straggling restart work — a supervisor poll, a chaos crashrestart timer —
+// cannot resurrect nodes into a finished experiment.
+func (r *Runtime) SealExperiment() {
+	r.mu.Lock()
+	r.sealed = true
+	r.mu.Unlock()
+	r.netem.bumpEpoch()
 }
 
 // route delivers a state notification from one machine to another through

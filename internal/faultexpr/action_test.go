@@ -1,0 +1,173 @@
+package faultexpr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecLineWithAction(t *testing.T) {
+	s, ok, err := ParseSpecLine("netsplit ((SM1:ELECT) & (SM2:FOLLOW)) once partition(h1|h2,h3) 50ms")
+	if err != nil || !ok {
+		t.Fatalf("ParseSpecLine: ok=%v err=%v", ok, err)
+	}
+	if s.Name != "netsplit" || s.Mode != Once {
+		t.Errorf("name/mode = %q/%v", s.Name, s.Mode)
+	}
+	if s.Expr.String() != "((SM1:ELECT) & (SM2:FOLLOW))" {
+		t.Errorf("expr = %s", s.Expr)
+	}
+	if s.Action == nil {
+		t.Fatal("action not parsed")
+	}
+	if s.Action.Name != "partition" || s.Action.Raw != "h1|h2,h3" || s.Action.For != 50*time.Millisecond {
+		t.Errorf("action = %+v", s.Action)
+	}
+	if got, want := s.String(), "netsplit ((SM1:ELECT) & (SM2:FOLLOW)) once partition(h1|h2,h3) 50ms"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseSpecLineActionRoundTrip(t *testing.T) {
+	lines := []string{
+		"f1 (a:B) once drop(h1,h2,0.5)",
+		"f2 (a:B) always delay(*,h2,5ms,1ms) 20ms",
+		"f3 ~(a:B) & (c:D) once crashrestart(h1,10ms)",
+		"f4 (a:B) once clockstep(h3,-2ms) 1s",
+		"f5 (a:B) always heal()",
+	}
+	for _, line := range lines {
+		s, ok, err := ParseSpecLine(line)
+		if err != nil || !ok {
+			t.Fatalf("%q: ok=%v err=%v", line, ok, err)
+		}
+		s2, ok2, err2 := ParseSpecLine(s.String())
+		if err2 != nil || !ok2 {
+			t.Fatalf("re-parse %q: ok=%v err=%v", s.String(), ok2, err2)
+		}
+		if s2.String() != s.String() {
+			t.Errorf("round trip: %q != %q", s2.String(), s.String())
+		}
+	}
+}
+
+func TestParseSpecLineBackwardsCompatible(t *testing.T) {
+	s, ok, err := ParseSpecLine("bfault1 (black:LEAD) once")
+	if err != nil || !ok {
+		t.Fatalf("ParseSpecLine: ok=%v err=%v", ok, err)
+	}
+	if s.Action != nil {
+		t.Errorf("unexpected action %v on plain spec", s.Action)
+	}
+}
+
+func TestParseSpecLineActionErrors(t *testing.T) {
+	bad := []string{
+		"f1 (a:B) once partition(h1",        // unbalanced parens
+		"f1 (a:B) once partition(h1) bogus", // bad duration
+		"f1 (a:B) once partition(h1) -5ms",  // negative duration
+		"f1 (a:B) once (h1,h2)",             // missing action name
+	}
+	for _, line := range bad {
+		if _, ok, err := ParseSpecLine(line); err == nil && ok {
+			t.Errorf("%q: want error, got none", line)
+		}
+	}
+}
+
+func TestParseActionCallArgs(t *testing.T) {
+	call, err := ParseActionCall("drop(h1, h2, 0.25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(call.Args) != 3 || call.Args[0] != "h1" || call.Args[1] != "h2" || call.Args[2] != "0.25" {
+		t.Errorf("args = %v", call.Args)
+	}
+	empty, err := ParseActionCall("heal()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Args) != 0 || empty.Raw != "" {
+		t.Errorf("heal(): args=%v raw=%q", empty.Args, empty.Raw)
+	}
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	got := SplitTopLevel("a,(b,c),d", ',')
+	if len(got) != 3 || got[0] != "a" || got[1] != "(b,c)" || got[2] != "d" {
+		t.Errorf("SplitTopLevel = %v", got)
+	}
+	if SplitTopLevel("  ", ',') != nil {
+		t.Error("blank input should split to nil")
+	}
+}
+
+// FuzzParseExpr exercises the Boolean expression parser: no panics, and
+// anything that parses must re-parse from its own rendering.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		"(SM1:ELECT)",
+		"((SM1:ELECT) & (SM2:FOLLOW))",
+		"~(a:B) | (c:D) & e:F",
+		"((((((a:B))))))",
+		"a:B & ~(~(c:D))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", e.String(), src, err)
+		}
+		if e2.String() != e.String() {
+			t.Fatalf("unstable rendering: %q -> %q", e.String(), e2.String())
+		}
+	})
+}
+
+// FuzzParseSpecLine exercises the full fault line grammar, the action-call
+// parser included: no panics, and parsed specs must round-trip through
+// String.
+func FuzzParseSpecLine(f *testing.F) {
+	for _, seed := range []string{
+		"bfault1 (black:LEAD) once",
+		"netsplit ((SM1:ELECT) & (SM2:FOLLOW)) once partition(h1|h2,h3) 50ms",
+		"f2 (a:B) always delay(*,h2,5ms,1ms) 20ms",
+		"f3 (a:B) once clockstep(h3,-2ms)",
+		"# comment",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		s, ok, err := ParseSpecLine(line)
+		if err != nil || !ok {
+			return
+		}
+		s2, ok2, err2 := ParseSpecLine(s.String())
+		if err2 != nil || !ok2 {
+			t.Fatalf("rendering %q of %q does not re-parse: ok=%v err=%v", s.String(), line, ok2, err2)
+		}
+		if s2.String() != s.String() {
+			t.Fatalf("unstable rendering: %q -> %q", s.String(), s2.String())
+		}
+	})
+}
+
+func TestParseSpecsWithActions(t *testing.T) {
+	specs, err := ParseSpecs(strings.Join([]string{
+		"# chaos faults",
+		"split (a:LEAD) once partition(h1|h2)",
+		"slow (a:LEAD) always delay(h1,h2,1ms)",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Action == nil || specs[1].Action == nil {
+		t.Fatalf("specs = %+v", specs)
+	}
+}

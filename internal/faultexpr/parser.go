@@ -191,13 +191,19 @@ func (p *parser) tryName() (string, bool) {
 	return p.src[start:p.pos], true
 }
 
-// Spec is one parsed fault specification entry (§3.5.5):
+// Spec is one parsed fault specification entry (§3.5.5), optionally
+// extended with a built-in action call:
 //
-//	<FaultName> <BooleanFaultExpression> <once|always>
+//	<FaultName> <BooleanFaultExpression> <once|always> [<action>(<args>) [<for>]]
+//
+// When Action is nil the injection goes through the application's
+// InjectFault callback as in the thesis; when set, the runtime dispatches
+// it to the chaos action library instead (internal/chaos).
 type Spec struct {
-	Name string
-	Expr Expr
-	Mode Mode
+	Name   string
+	Expr   Expr
+	Mode   Mode
+	Action *ActionCall
 }
 
 // ParseSpecLine parses a single fault specification line. Blank lines and
@@ -211,22 +217,66 @@ func ParseSpecLine(line string) (Spec, bool, error) {
 	if !ok {
 		return Spec{}, false, fmt.Errorf("faultexpr: fault line %q: missing expression", line)
 	}
-	// The mode is the final whitespace-separated field.
-	lastSpace := strings.LastIndexFunc(rest, unicode.IsSpace)
-	if lastSpace < 0 {
+	// The mode separates the expression from the optional trailing action:
+	// find the last top-level (outside parentheses) field reading
+	// once|always.
+	exprSrc, actionSrc, found := splitAtMode(rest)
+	if !found {
 		return Spec{}, false, fmt.Errorf("faultexpr: fault line %q: missing once|always", line)
 	}
-	exprSrc := strings.TrimSpace(rest[:lastSpace])
-	modeSrc := strings.TrimSpace(rest[lastSpace:])
+	modeSrc := rest[len(exprSrc):]
+	modeSrc = strings.TrimSpace(modeSrc[:len(modeSrc)-len(actionSrc)])
 	mode, err := ParseMode(modeSrc)
 	if err != nil {
 		return Spec{}, false, fmt.Errorf("faultexpr: fault line %q: %v", line, err)
 	}
-	expr, err := Parse(exprSrc)
+	expr, err := Parse(strings.TrimSpace(exprSrc))
 	if err != nil {
 		return Spec{}, false, err
 	}
-	return Spec{Name: name, Expr: expr, Mode: mode}, true, nil
+	s := Spec{Name: name, Expr: expr, Mode: mode}
+	if actionSrc = strings.TrimSpace(actionSrc); actionSrc != "" {
+		call, err := ParseActionCall(actionSrc)
+		if err != nil {
+			return Spec{}, false, fmt.Errorf("faultexpr: fault line %q: %v", line, err)
+		}
+		s.Action = call
+	}
+	return s, true, nil
+}
+
+// splitAtMode finds the last whitespace-separated, parenthesis-depth-zero
+// field of s that reads once|always (case-insensitive), returning the text
+// before it and after it.
+func splitAtMode(s string) (before, after string, found bool) {
+	depth := 0
+	i := 0
+	for i < len(s) {
+		for i < len(s) && unicode.IsSpace(rune(s[i])) {
+			i++
+		}
+		start := i
+		for i < len(s) && !unicode.IsSpace(rune(s[i])) {
+			switch s[i] {
+			case '(':
+				depth++
+			case ')':
+				if depth > 0 {
+					depth--
+				}
+			}
+			i++
+		}
+		if start == i {
+			break
+		}
+		if depth == 0 {
+			if _, err := ParseMode(s[start:i]); err == nil {
+				before, after, found = s[:start], s[i:], true
+			}
+		}
+	}
+	return before, after, found
 }
 
 // ParseSpecs parses a full fault specification document, one entry per line.
@@ -246,7 +296,11 @@ func ParseSpecs(doc string) ([]Spec, error) {
 
 // String renders the spec in its file syntax.
 func (s Spec) String() string {
-	return fmt.Sprintf("%s %s %s", s.Name, s.Expr, s.Mode)
+	out := fmt.Sprintf("%s %s %s", s.Name, s.Expr, s.Mode)
+	if s.Action != nil {
+		out += " " + s.Action.String()
+	}
+	return out
 }
 
 func cutField(s string) (field, rest string, ok bool) {

@@ -1,0 +1,218 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// twoHostNet builds a two-host network with constant latency and an
+// endpoint on h2 counting deliveries.
+func twoHostNet(t *testing.T, seed int64) (*Sim, *Network, *[]Message) {
+	t.Helper()
+	sim := NewSim(seed)
+	net := NewNetwork(sim, NetworkConfig{Remote: Constant(100_000), Local: Constant(10_000)})
+	net.AddHost("h1", vclock.ClockConfig{})
+	net.AddHost("h2", vclock.ClockConfig{})
+	var got []Message
+	net.Host("h2").Bind("sink", func(m Message) { got = append(got, m) })
+	return sim, net, &got
+}
+
+func send(net *Network, payload interface{}) {
+	net.Send(Address{Host: "h1", Name: "src"}, Address{Host: "h2", Name: "sink"}, payload)
+}
+
+func TestDropFilter(t *testing.T) {
+	sim, net, got := twoHostNet(t, 1)
+	net.InstallFilter(Link{From: "h1", To: "h2"}, "f", DropFilter{P: 1})
+	for i := 0; i < 5; i++ {
+		send(net, i)
+	}
+	sim.Run()
+	if len(*got) != 0 {
+		t.Fatalf("delivered %d messages through a P=1 drop filter", len(*got))
+	}
+	if _, dropped := net.Stats(); dropped != 5 {
+		t.Errorf("dropped = %d, want 5", dropped)
+	}
+	if !net.RemoveFilter(Link{From: "h1", To: "h2"}, "f") {
+		t.Fatal("RemoveFilter: filter not found")
+	}
+	send(net, "after")
+	sim.Run()
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d after removal, want 1", len(*got))
+	}
+}
+
+func TestDelayFilterShiftsDelivery(t *testing.T) {
+	sim, net, got := twoHostNet(t, 1)
+	send(net, "plain")
+	sim.Run()
+	base := (*got)[0].RecvPhys - (*got)[0].SendPhys
+
+	net.InstallFilter(Link{From: "h1", To: "h2"}, "d", DelayFilter{Extra: 250_000})
+	send(net, "delayed")
+	sim.Run()
+	slow := (*got)[1].RecvPhys - (*got)[1].SendPhys
+	if slow != base+250_000 {
+		t.Errorf("delayed latency = %d, want %d", slow, base+250_000)
+	}
+}
+
+func TestDuplicateFilter(t *testing.T) {
+	sim, net, got := twoHostNet(t, 1)
+	net.InstallFilter(Link{From: "h1", To: "h2"}, "dup", DuplicateFilter{P: 1, Copies: 2})
+	send(net, "x")
+	sim.Run()
+	if len(*got) != 3 {
+		t.Fatalf("delivered %d copies, want 3 (original + 2 duplicates)", len(*got))
+	}
+}
+
+func TestCorruptFilterEnvelope(t *testing.T) {
+	sim, net, got := twoHostNet(t, 1)
+	net.InstallFilter(Link{From: "h1", To: "h2"}, "c", CorruptFilter{P: 1})
+	send(net, "payload")
+	sim.Run()
+	c, ok := (*got)[0].Payload.(Corrupted)
+	if !ok {
+		t.Fatalf("payload = %#v, want Corrupted envelope", (*got)[0].Payload)
+	}
+	if c.Original != "payload" {
+		t.Errorf("envelope holds %#v", c.Original)
+	}
+}
+
+func TestWildcardAndInstallOrder(t *testing.T) {
+	sim, net, got := twoHostNet(t, 1)
+	// Wildcard delay applies to every link; specific delay adds on top.
+	net.InstallFilter(Link{From: Wildcard, To: Wildcard}, "all", DelayFilter{Extra: 100_000})
+	net.InstallFilter(Link{From: "h1", To: "h2"}, "one", DelayFilter{Extra: 50_000})
+	send(net, "x")
+	sim.Run()
+	latency := (*got)[0].RecvPhys - (*got)[0].SendPhys
+	if latency != 100_000+50_000+100_000 {
+		t.Errorf("latency = %d, want 250000 (base + both filters)", latency)
+	}
+	ids := net.FilterIDs(Link{From: "h1", To: "h2"})
+	if len(ids) != 1 || ids[0] != "one" {
+		t.Errorf("FilterIDs = %v", ids)
+	}
+}
+
+func TestInstallFilterReplacesInPlace(t *testing.T) {
+	sim, net, got := twoHostNet(t, 1)
+	link := Link{From: "h1", To: "h2"}
+	net.InstallFilter(link, "f", DropFilter{P: 1})
+	net.InstallFilter(link, "f", DropFilter{P: 0}) // refresh, not stack
+	send(net, "x")
+	sim.Run()
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d, want 1 (replaced filter passes)", len(*got))
+	}
+	if ids := net.FilterIDs(link); len(ids) != 1 {
+		t.Errorf("filter stacked instead of replaced: %v", ids)
+	}
+}
+
+func TestSetLinkModelOverride(t *testing.T) {
+	sim, net, got := twoHostNet(t, 1)
+	net.SetLinkModel(Link{From: "h1", To: "h2"}, Constant(500_000))
+	send(net, "x")
+	sim.Run()
+	if latency := (*got)[0].RecvPhys - (*got)[0].SendPhys; latency != 500_000 {
+		t.Errorf("latency = %d, want per-link override 500000", latency)
+	}
+	net.SetLinkModel(Link{From: "h1", To: "h2"}, nil)
+	send(net, "y")
+	sim.Run()
+	if latency := (*got)[1].RecvPhys - (*got)[1].SendPhys; latency != 100_000 {
+		t.Errorf("latency after clearing override = %d, want 100000", latency)
+	}
+}
+
+func TestFilterDeterminismUnderSeed(t *testing.T) {
+	run := func() (delivered uint64) {
+		sim, net, _ := twoHostNet(t, 42)
+		net.InstallFilter(Link{From: "h1", To: "h2"}, "f", DropFilter{P: 0.5})
+		for i := 0; i < 100; i++ {
+			send(net, i)
+		}
+		sim.Run()
+		d, _ := net.Stats()
+		return d
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed delivered %d then %d messages", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Errorf("P=0.5 drop delivered %d of 100", a)
+	}
+}
+
+func TestLatencyValidation(t *testing.T) {
+	cases := []struct {
+		model LatencyModel
+		ok    bool
+	}{
+		{Constant(10), true},
+		{Constant(-1), false},
+		{Uniform{Min: 5, Max: 10}, true},
+		{Uniform{Min: 10, Max: 5}, false},
+		{Uniform{Min: -1, Max: 5}, false},
+		{Exponential{Min: 1, MeanTail: 2}, true},
+		{Exponential{Min: -1, MeanTail: 2}, false},
+		{Exponential{Min: 1, MeanTail: -2}, false},
+		{Normal{Mean: 10, Stddev: 2, Min: 0}, true},
+		{Normal{Mean: 10, Stddev: -2}, false},
+		{Normal{Mean: 10, Stddev: 2, Min: -1}, false},
+		{Timesliced{Wire: 1, Timeslice: 10, PReady: 0.5, Runnable: 2}, true},
+		{Timesliced{Wire: -1, Timeslice: 10, PReady: 0.5}, false},
+		{Timesliced{Wire: 1, Timeslice: 10, PReady: 1.5}, false},
+		{Timesliced{Wire: 1, Timeslice: 10, PReady: 0.5, Runnable: -1}, false},
+		{Timesliced{Wire: 1, Timeslice: 0, PReady: 0.5}, false},
+		{Timesliced{Wire: 1, Timeslice: 0, PReady: 1}, true},
+	}
+	for _, c := range cases {
+		err := ValidateModel(c.model)
+		if c.ok && err != nil {
+			t.Errorf("%#v: unexpected error %v", c.model, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%#v: validation passed, want error", c.model)
+		}
+	}
+}
+
+func TestLatencyConstructors(t *testing.T) {
+	if _, err := NewUniform(10, 5); err == nil {
+		t.Error("NewUniform(10, 5): want error")
+	}
+	if _, err := NewUniform(5, 10); err != nil {
+		t.Errorf("NewUniform(5, 10): %v", err)
+	}
+	if _, err := NewConstant(-1); err == nil {
+		t.Error("NewConstant(-1): want error")
+	}
+	if _, err := NewExponential(1, -1); err == nil {
+		t.Error("NewExponential(1, -1): want error")
+	}
+	if _, err := NewNormal(10, -1, 0); err == nil {
+		t.Error("NewNormal stddev<0: want error")
+	}
+	if _, err := NewTimesliced(1, 10, 2, 0); err == nil {
+		t.Error("NewTimesliced pReady=2: want error")
+	}
+}
+
+func TestNewNetworkRejectsInvalidModels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewNetwork with inverted Uniform: want panic")
+		}
+	}()
+	NewNetwork(NewSim(1), NetworkConfig{Remote: Uniform{Min: 10, Max: 5}})
+}

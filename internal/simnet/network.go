@@ -58,6 +58,11 @@ type Network struct {
 	loss       float64      // probability an inter-host message is dropped
 	partitions map[[2]string]bool
 
+	// Link interposition (interpose.go): per-link filter chains and
+	// latency-model overrides, consulted at send time.
+	filters    FilterSet
+	linkModels map[Link]LatencyModel
+
 	delivered uint64
 	dropped   uint64
 }
@@ -75,12 +80,24 @@ type NetworkConfig struct {
 }
 
 // NewNetwork returns a network on sim with the given link configuration.
+// Invalid latency-model parameters (ValidateModel) and an out-of-range loss
+// probability panic: link configuration is code, so a bad model is a
+// programming bug, like a duplicate host name.
 func NewNetwork(sim *Sim, cfg NetworkConfig) *Network {
 	if cfg.Remote == nil {
 		cfg.Remote = Constant(150 * 1000) // 150 µs
 	}
 	if cfg.Local == nil {
 		cfg.Local = Constant(20 * 1000) // 20 µs
+	}
+	if err := ValidateModel(cfg.Remote); err != nil {
+		panic("simnet: NewNetwork: Remote: " + err.Error())
+	}
+	if err := ValidateModel(cfg.Local); err != nil {
+		panic("simnet: NewNetwork: Local: " + err.Error())
+	}
+	if cfg.Loss < 0 || cfg.Loss > 1 {
+		panic(fmt.Sprintf("simnet: NewNetwork: Loss %g outside [0, 1]", cfg.Loss))
 	}
 	return &Network{
 		sim:        sim,
@@ -150,6 +167,9 @@ func (n *Network) Partition(a, b string) { n.partitions[pairKey(a, b)] = true }
 // Heal removes the partition between a and b.
 func (n *Network) Heal(a, b string) { delete(n.partitions, pairKey(a, b)) }
 
+// HealAll removes every partition.
+func (n *Network) HealAll() { n.partitions = make(map[[2]string]bool) }
+
 func pairKey(a, b string) [2]string {
 	if a > b {
 		a, b = b, a
@@ -160,6 +180,8 @@ func pairKey(a, b string) [2]string {
 // Send delivers payload from one address to another after a sampled latency.
 // Messages to unknown hosts, down hosts, partitioned hosts, or unbound
 // endpoints are counted as dropped; like UDP, the sender is not told.
+// Installed link filters are consulted at send time and may drop, delay,
+// duplicate, or corrupt the message (interpose.go).
 func (n *Network) Send(from, to Address, payload interface{}) {
 	src, ok := n.hosts[from.Host]
 	dst, ok2 := n.hosts[to.Host]
@@ -177,14 +199,26 @@ func (n *Network) Send(from, to Address, payload interface{}) {
 			return
 		}
 	}
-	model := n.remote
-	if from.Host == to.Host {
-		model = n.local
+	fate := n.consultFilters(from.Host, to.Host, payload)
+	if fate.Drop {
+		n.dropped++
+		return
 	}
-	delay := model.Sample(n.sim.rng)
-	if delay < 0 {
-		delay = 0
+	if fate.Payload != nil {
+		payload = fate.Payload
 	}
+	model := n.linkModel(from.Host, to.Host)
+	for c := 0; c <= fate.Copies; c++ {
+		delay := model.Sample(n.sim.rng) + fate.Delay
+		if delay < 0 {
+			delay = 0
+		}
+		n.deliverAfter(delay, dst, from, to, payload)
+	}
+}
+
+// deliverAfter schedules one delivery attempt.
+func (n *Network) deliverAfter(delay vclock.Ticks, dst *Host, from, to Address, payload interface{}) {
 	sendAt := n.sim.Now()
 	n.sim.After(delay, func() {
 		if dst.down {

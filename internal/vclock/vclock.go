@@ -121,10 +121,11 @@ type Clock struct {
 	drift       float64 // dC/dt; 1.0 is a perfect clock, 1.0+100e-6 runs fast by 100 ppm
 	granularity Ticks   // readings are floored to a multiple of this (0 = exact)
 
-	mu     sync.Mutex
-	jitter Ticks // max uniform jitter added to a reading (models sampling noise)
-	rng    *rand.Rand
-	last   Ticks // enforce per-clock monotonicity under jitter
+	mu      sync.Mutex
+	jitter  Ticks // max uniform jitter added to a reading (models sampling noise)
+	rng     *rand.Rand
+	last    Ticks // enforce per-clock monotonicity under jitter
+	stepped Ticks // cumulative Step adjustments (clock-setting faults)
 }
 
 // ClockConfig describes the hidden error of a host clock.
@@ -170,6 +171,7 @@ func (c *Clock) Now() Ticks {
 	t := c.At(c.source.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	t += c.stepped
 	if c.rng != nil {
 		t += Ticks(c.rng.Int63n(int64(c.jitter)))
 	}
@@ -178,6 +180,40 @@ func (c *Clock) Now() Ticks {
 	}
 	c.last = t
 	return t
+}
+
+// Step shifts all subsequent readings by delta — a misbehaving operator or
+// NTP daemon setting the host clock mid-run. The shift is excluded from the
+// At/AlphaBeta ground truth: a stepped clock violates the affine model the
+// off-line synchronization assumes, which is exactly the misbehaviour a
+// chaos campaign wants the analysis phase to face. Monotonicity of Now is
+// preserved: after a negative step, readings hold at the previous maximum
+// until the clock catches up, like a monotonic-clamped OS clock.
+func (c *Clock) Step(delta Ticks) {
+	c.mu.Lock()
+	c.stepped += delta
+	c.mu.Unlock()
+}
+
+// TrueStepped returns the cumulative Step adjustment (ground truth for
+// tests).
+func (c *Clock) TrueStepped() Ticks {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stepped
+}
+
+// ClearStep removes accumulated Step adjustments and releases the
+// monotonic clamp, restoring the configured affine transform. Runtimes
+// call it between experiments: timestamps never compare across
+// experiments, so the backward jump is safe, and without it one
+// experiment's clock fault would poison every later experiment on the
+// same testbed.
+func (c *Clock) ClearStep() {
+	c.mu.Lock()
+	c.stepped = 0
+	c.last = math.MinInt64
+	c.mu.Unlock()
 }
 
 // At returns the (noise-free) local time corresponding to physical time t.

@@ -23,6 +23,12 @@
 //     central daemon, dynamic node entry/exit/crash/restart.
 //   - Instrumented and the *Fault helpers — probe construction (§3.5.7).
 //   - Campaign, Study, Run — the full three-phase pipeline (§2.3).
+//   - ChaosAction, Scenario, Matrix, RunMatrix — the chaos subsystem:
+//     fault specification entries may name built-in network and host fault
+//     actions (partition, drop, delay, duplicate, corrupt, crash,
+//     crashrestart, clockstep), and the matrix engine fans one
+//     configuration out into {scenarios × latency profiles × seeds}
+//     studies across the worker pool (see chaos.go and EXPERIMENTS.md).
 //   - ParsePredicate, ParseObservation, StudyMeasure, SimpleSampling,
 //     StratifiedWeighted — measure estimation (ch. 4).
 //   - EstimateClocks, BuildGlobalTimeline, CheckExperiment — the analysis

@@ -4,10 +4,30 @@
 // off-line pipeline consumes: one local timeline file per state machine
 // (§3.5.6 format) and the timestamps file for alphabeta.
 //
-// Usage:
+// Single-process usage (the whole testbed on the in-memory bus):
 //
 //	lokid -nodes nodes.txt [-faults faults.txt] [-app election|replica]
 //	      [-runfor 150ms] [-dormancy 10ms] [-seed 1] -out DIR
+//
+// Multi-process usage: one lokid per OS process, each hosting a subset of
+// the virtual hosts, connected over real sockets. All processes share the
+// same node/fault files and seed; -owners assigns hosts to peers:
+//
+//	lokid -nodes nodes.txt -out DIR -transport udp \
+//	      -name alpha -listen 127.0.0.1:7101 \
+//	      -peers 'alpha=127.0.0.1:7101,beta=127.0.0.1:7102' \
+//	      -owners 'h1=alpha,h2=beta,h3=beta' &
+//	lokid -nodes nodes.txt -out DIR -transport udp \
+//	      -name beta -listen 127.0.0.1:7102 \
+//	      -peers 'alpha=127.0.0.1:7101,beta=127.0.0.1:7102' \
+//	      -owners 'h1=alpha,h2=beta,h3=beta'
+//
+// The peer owning the lexicographically first host coordinates: it runs
+// the experiment protocol, performs the analysis phase with the
+// timelines streamed back from every peer, writes the artifacts, and
+// tells the other processes to stop. SIGINT/SIGTERM drain cleanly: the
+// member protocol is interrupted, socket listeners close, and node
+// goroutines are killed before exit.
 //
 // Continue the pipeline with:
 //
@@ -16,14 +36,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	loki "repro"
+	"repro/internal/campaign"
 	"repro/internal/cli"
 	"repro/internal/clocksync"
 	"repro/internal/timeline"
@@ -34,15 +58,29 @@ func main() {
 	log.SetPrefix("lokid: ")
 	var (
 		nodesPath  = flag.String("nodes", "", "node file (required)")
-		faultsPath = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always>' per line")
+		faultsPath = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always> [action]' per line")
 		app        = flag.String("app", "election", "built-in application: election or replica")
 		runFor     = flag.Duration("runfor", 150*time.Millisecond, "application run time")
 		dormancy   = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy")
 		seed       = flag.Int64("seed", 1, "random seed")
-		outDir     = flag.String("out", "", "output directory (required)")
+		outDir     = flag.String("out", "", "output directory (required for single-process and coordinator)")
+
+		transportKind = flag.String("transport", "", "socket transport for multi-process mode: udp or tcp")
+		name          = flag.String("name", "", "this process's peer name (multi-process mode)")
+		listen        = flag.String("listen", "", "this process's listen address (multi-process mode)")
+		peersFlag     = flag.String("peers", "", "peer table 'name=addr,...' (multi-process mode)")
+		ownersFlag    = flag.String("owners", "", "host ownership 'host=peer,...' (multi-process mode)")
 	)
 	flag.Parse()
-	if *nodesPath == "" || *outDir == "" {
+
+	// Satellite of the transport work, useful in every mode: SIGINT or
+	// SIGTERM cancels the run instead of leaving sockets and node
+	// goroutines to die with the process.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	clustered := *transportKind != "" || *listen != "" || *peersFlag != "" || *ownersFlag != "" || *name != ""
+	if *nodesPath == "" || (*outDir == "" && !clustered) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,18 +110,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Run exactly one experiment, capturing the raw runtime artifacts.
 	c := &loki.Campaign{
 		Name:    "lokid",
 		Hosts:   cli.HostsFor(nodes, *seed),
 		Studies: []*loki.Study{study},
 		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
 	}
-	rec, stamps, locals, err := cli.RunSingleExperiment(c)
-	if err != nil {
-		log.Fatal(err)
+
+	var (
+		rec    *loki.ExperimentRecord
+		stamps []clocksync.StampedMessage
+		locals []*timeline.Local
+	)
+	if clustered {
+		rec, stamps, locals = runClustered(ctx, c, study, cli.ClusterOptions{
+			Kind: *transportKind, Name: *name, Listen: *listen,
+			Peers: *peersFlag, Owners: *ownersFlag, OutDir: *outDir,
+		})
+		if rec == nil {
+			return // non-coordinator member: artifacts are the coordinator's
+		}
+	} else {
+		type single struct {
+			rec    *loki.ExperimentRecord
+			stamps []clocksync.StampedMessage
+			locals []*timeline.Local
+			err    error
+		}
+		ch := make(chan single, 1)
+		go func() {
+			r, s, l, err := cli.RunSingleExperiment(c)
+			ch <- single{r, s, l, err}
+		}()
+		select {
+		case <-ctx.Done():
+			log.Fatal("interrupted; no artifacts written")
+		case got := <-ch:
+			if got.err != nil {
+				log.Fatal(got.err)
+			}
+			rec, stamps, locals = got.rec, got.stamps, got.locals
+		}
 	}
+
 	if !rec.Completed {
 		log.Fatal("experiment timed out; no artifacts written")
 	}
@@ -91,39 +160,95 @@ func main() {
 		// The analysis phase discarded the run (e.g. infeasible clock
 		// synchronization after a clockstep fault): its artifacts cannot
 		// be trusted, so keep the pre-chaos fatal behaviour.
+		if rec.ClockStepSuspected {
+			log.Printf("clock step suspected on hosts %v", rec.ClockStepHosts)
+		}
 		log.Fatalf("experiment discarded by analysis: %s", rec.AnalysisError)
 	}
-
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+	if err := writeArtifacts(*outDir, stamps, locals); err != nil {
 		log.Fatal(err)
 	}
-	for _, tl := range locals {
-		path := filepath.Join(*outDir, tl.Owner+".timeline")
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := timeline.Encode(f, tl); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s (%d entries)\n", path, len(tl.Entries))
-	}
-	stampPath := filepath.Join(*outDir, "timestamps.txt")
-	f, err := os.Create(stampPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := clocksync.EncodeTimestamps(f, stamps); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s (%d messages)\n", stampPath, len(stamps))
 	for nick, outcome := range rec.Outcomes {
 		fmt.Printf("node %s: %s\n", nick, outcome)
 	}
+}
+
+// runClustered joins (or coordinates) a multi-process experiment. It
+// returns nils for a non-coordinator member, whose job ends when the
+// coordinator says stop.
+func runClustered(ctx context.Context, c *loki.Campaign, study *loki.Study, opts cli.ClusterOptions) (*loki.ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local) {
+	tr, err := cli.BuildClusterTransport(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	member, err := campaign.NewMember(c, study, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer member.Close()
+	go func() {
+		<-ctx.Done()
+		member.Quit() // drain: interrupt the protocol, then close sockets
+	}()
+
+	if !member.Coordinator() {
+		fmt.Printf("member %s serving (transport %s)\n", opts.Name, tr.Name())
+		if err := member.Serve(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("member %s done\n", opts.Name)
+		return nil, nil, nil
+	}
+	if opts.OutDir == "" {
+		// Fail before the whole cluster runs an experiment whose
+		// artifacts would be silently discarded.
+		log.Fatal("this peer owns the reference host and coordinates: -out is required")
+	}
+	fmt.Printf("coordinator %s running experiment (transport %s)\n", opts.Name, tr.Name())
+	rec, stamps, locals, err := member.RunOne()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rec, stamps, locals
+}
+
+// writeArtifacts emits the raw runtime artifacts: per-machine timelines
+// and the timestamps file.
+func writeArtifacts(outDir string, stamps []clocksync.StampedMessage, locals []*timeline.Local) error {
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, tl := range locals {
+		path := filepath.Join(outDir, tl.Owner+".timeline")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := timeline.Encode(f, tl); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d entries)\n", path, len(tl.Entries))
+	}
+	stampPath := filepath.Join(outDir, "timestamps.txt")
+	f, err := os.Create(stampPath)
+	if err != nil {
+		return err
+	}
+	if err := clocksync.EncodeTimestamps(f, stamps); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d messages)\n", stampPath, len(stamps))
+	return nil
 }

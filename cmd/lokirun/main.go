@@ -51,6 +51,7 @@ func main() {
 		restart      = flag.Bool("restart", false, "restart crashed nodes once (supervisor)")
 		seed         = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
 		workers      = flag.Int("workers", 0, "concurrent experiment executors (0 = GOMAXPROCS)")
+		transportK   = flag.String("transport", "", "study transport: inproc (default), udp, or tcp (socket studies run one runtime per host over loopback, experiments sequential)")
 		outDir       = flag.String("out", "", "artifact directory (default: none written)")
 	)
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	study.Transport = *transportK
 	if *scenarioName != "" || *scenarioFile != "" {
 		if *scenarioName == "" || *scenarioFile == "" {
 			log.Fatal("-scenario and -scenarios must be given together")
@@ -131,6 +133,9 @@ func main() {
 		fmt.Printf("experiment %d: completed=%v accepted=%v\n", rec.Index, rec.Completed, rec.Accepted)
 		if rec.AnalysisError != "" {
 			fmt.Printf("  discarded by analysis: %s\n", rec.AnalysisError)
+		}
+		if rec.ClockStepSuspected {
+			fmt.Printf("  clock step suspected on hosts %v (sync mini-phases disagree)\n", rec.ClockStepHosts)
 		}
 		if rec.Report != nil {
 			for _, chk := range rec.Report.Injections {

@@ -13,6 +13,7 @@
 package election
 
 import (
+	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -22,6 +23,12 @@ import (
 	"repro/internal/probe"
 	"repro/internal/spec"
 )
+
+func init() {
+	// Bus messages must survive a socket transport's gob envelope.
+	gob.Register(voteMsg{})
+	gob.Register(heartbeatMsg{})
+}
 
 // Events of the Fig. 5.1 state machine.
 const (

@@ -12,6 +12,7 @@ package replica
 
 import (
 	"encoding/binary"
+	"encoding/gob"
 	"fmt"
 	"time"
 
@@ -19,6 +20,12 @@ import (
 	"repro/internal/probe"
 	"repro/internal/spec"
 )
+
+func init() {
+	// Bus messages must survive a socket transport's gob envelope.
+	gob.Register(updateMsg{})
+	gob.Register(syncReqMsg{})
+}
 
 // Events of the replica state machine.
 const (

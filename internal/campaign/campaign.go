@@ -10,6 +10,7 @@ package campaign
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -51,6 +52,14 @@ type Study struct {
 	// re-applied at each experiment reset, so every experiment faces an
 	// identically seeded network.
 	ChaosSeed int64
+	// Transport selects how the study's hosts talk: "" or "inproc" keeps
+	// every host in one runtime on the in-memory bus and uses the
+	// campaign's worker pool; "udp" or "tcp" runs the study clustered —
+	// one runtime per host, one endpoint per runtime, every cross-host
+	// message over a real loopback socket (cluster.go). Socket studies
+	// run their experiments sequentially (one runtime set per process),
+	// so Campaign.Workers does not apply to them.
+	Transport string
 }
 
 // Campaign is a full fault injection campaign (§2.2.3).
@@ -92,6 +101,14 @@ type ExperimentRecord struct {
 	// discarded (Accepted false), not fatal: rejecting unverifiable runs
 	// is the analysis phase's job.
 	AnalysisError string
+	// ClockStepSuspected refines an infeasible clock fit: the two sync
+	// mini-phases each admit an affine model on their own, but at least
+	// one host's models disagree beyond tolerance — the signature of a
+	// mid-experiment clock step rather than generally bad timestamps.
+	// The experiment stays discarded; the verdict says *why*.
+	ClockStepSuspected bool
+	// ClockStepHosts lists the hosts whose mini-phases disagree, sorted.
+	ClockStepHosts []string
 }
 
 // StudyResult aggregates a study's experiments.
@@ -158,13 +175,26 @@ func Run(c *Campaign) (*Result, error) {
 	}
 	res := &Result{Name: c.Name}
 	for _, st := range c.Studies {
-		sr, err := runStudy(c, st)
+		sr, err := runStudyOn(c, st)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: study %q: %w", st.Name, err)
 		}
 		res.Studies = append(res.Studies, sr)
 	}
 	return res, nil
+}
+
+// runStudyOn dispatches a study to the engine its Transport selects: ""
+// or "inproc" runs on the in-memory bus with the campaign's worker pool;
+// socket kinds run clustered — one runtime per host, every cross-host
+// message over a real loopback socket, experiments in sequence
+// (Workers=1 per process). RunMatrix routes its points through here too,
+// so a requested transport is never silently downgraded.
+func runStudyOn(c *Campaign, st *Study) (*StudyResult, error) {
+	if st.Transport != "" && st.Transport != "inproc" {
+		return RunClustered(c, st, st.Transport)
+	}
+	return runStudy(c, st)
 }
 
 // RunSingle executes exactly one experiment of the campaign's first study
@@ -187,52 +217,46 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 	}
 	defer rt.Shutdown()
 
-	rt.ResetExperiment() // pre-sync must see a clean testbed (see runRuntimePhase)
-	stamps := exchangeStamps(rt, ref, c.Sync)
-	var sup *supervisor
-	if st.Restarts != nil {
-		sup = startSupervisor(rt, *st.Restarts)
-	}
-	runRes, err := cd.RunExperiment(st.Placement, timeout)
-	if sup != nil {
-		sup.stop()
-	}
+	raw, err := runRuntimePhase(c, st, rt, cd, ref, 0, timeout)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	stamps = append(stamps, exchangeStamps(rt, ref, c.Sync)...)
-
-	rec := &ExperimentRecord{Study: st.Name, Index: 0, Completed: runRes.Completed, Outcomes: runRes.Outcomes}
-	locals := snapshotTimelines(runRes.Timelines)
-	if rec.Completed {
-		bounds, err := clocksync.EstimateAll(stamps, ref)
-		if err != nil {
-			rec.AnalysisError = fmt.Sprintf("clock sync: %v", err)
-			return rec, stamps, locals, nil
-		}
-		rec.Bounds = bounds
-		g, err := analysis.Build(ref, bounds, locals)
-		if err != nil {
-			rec.AnalysisError = fmt.Sprintf("global timeline: %v", err)
-			return rec, stamps, locals, nil
-		}
-		rec.Global = g
-		rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(locals), c.Check)
-		rec.Accepted = rec.Report.Accepted
+	rec, err := analyzeExperiment(c, st, raw)
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	return rec, stamps, locals, nil
+	return rec, raw.allStamps(), raw.locals, nil
 }
 
 // rawExperiment is the runtime phase's output handed to the analysis
 // stage: everything analysis needs, deep-copied out of the worker's
-// runtime so the next experiment on that runtime cannot alias it.
+// runtime so the next experiment on that runtime cannot alias it. The
+// two sync mini-phases stay separate so the analysis can compare their
+// fits when the combined fit is infeasible (clock-step detection).
 type rawExperiment struct {
-	index     int
-	completed bool
-	outcomes  map[string]string
-	stamps    []clocksync.StampedMessage
-	locals    []*timeline.Local
+	index      int
+	completed  bool
+	outcomes   map[string]string
+	preStamps  []clocksync.StampedMessage
+	postStamps []clocksync.StampedMessage
+	locals     []*timeline.Local
+	// lostTimelines names machines whose timelines could not be
+	// collected (clustered runs: unencodable or over the frame budget).
+	// The experiment cannot be verified without them and is discarded.
+	lostTimelines []string
+	// syncError records a failed synchronization mini-phase (clustered
+	// runs: too many lost round trips). The experiment is discarded —
+	// without sound stamps nothing about it can be verified — but the
+	// study continues, matching the discard-don't-abort analysis
+	// semantics everywhere else.
+	syncError string
 	ref       string
+}
+
+func (raw *rawExperiment) allStamps() []clocksync.StampedMessage {
+	out := make([]clocksync.StampedMessage, 0, len(raw.preStamps)+len(raw.postStamps))
+	out = append(out, raw.preStamps...)
+	return append(out, raw.postStamps...)
 }
 
 // newStudyRuntime builds one worker's private runtime: its own virtual
@@ -408,15 +432,16 @@ func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralD
 	}
 
 	// Post-experiment synchronization mini-phase.
-	stamps = append(stamps, exchangeStamps(rt, ref, c.Sync)...)
+	postStamps := exchangeStamps(rt, ref, c.Sync)
 
 	return &rawExperiment{
-		index:     index,
-		completed: runRes.Completed,
-		outcomes:  runRes.Outcomes,
-		stamps:    stamps,
-		locals:    snapshotTimelines(runRes.Timelines),
-		ref:       ref,
+		index:      index,
+		completed:  runRes.Completed,
+		outcomes:   runRes.Outcomes,
+		preStamps:  stamps,
+		postStamps: postStamps,
+		locals:     snapshotTimelines(runRes.Timelines),
+		ref:        ref,
 	}, nil
 }
 
@@ -435,12 +460,28 @@ func analyzeExperiment(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentR
 		// Aborted experiments are discarded outright (§3.5.1).
 		return rec, nil
 	}
-	bounds, err := clocksync.EstimateAll(raw.stamps, raw.ref)
+	if raw.syncError != "" {
+		rec.AnalysisError = raw.syncError
+		return rec, nil
+	}
+	if len(raw.lostTimelines) > 0 {
+		// A machine missing from the global timeline cannot have its
+		// injections checked; accepting would be unsound.
+		rec.AnalysisError = fmt.Sprintf("timelines not collected for %v", raw.lostTimelines)
+		return rec, nil
+	}
+	bounds, err := clocksync.EstimateAll(raw.allStamps(), raw.ref)
 	if err != nil {
 		// Infeasible synchronization — a stepped or otherwise non-affine
 		// clock — means nothing about this run can be verified: discard
-		// it, as the analysis phase discards unprovable injections.
+		// it, as the analysis phase discards unprovable injections. But
+		// say why when the evidence allows: if each mini-phase admits an
+		// affine fit on its own and the fits disagree, the clock stepped
+		// mid-experiment (§2.5's linear-drift assumption was violated
+		// between the phases, not within them).
 		rec.AnalysisError = fmt.Sprintf("clock sync: %v", err)
+		rec.ClockStepHosts = clockStepHosts(raw)
+		rec.ClockStepSuspected = len(rec.ClockStepHosts) > 0
 		return rec, nil
 	}
 	rec.Bounds = bounds
@@ -453,6 +494,37 @@ func analyzeExperiment(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentR
 	rec.Report = analysis.CheckExperiment(g, analysis.SpecsFromLocals(raw.locals), c.Check)
 	rec.Accepted = rec.Report.Accepted
 	return rec, nil
+}
+
+// clockStepHosts fits each sync mini-phase separately and returns the
+// hosts whose per-phase (alpha, beta) bound boxes are disjoint in alpha —
+// hosts whose clock apparently jumped between the phases. Empty when
+// either phase fails to fit on its own (then the timestamps are bad in a
+// way a step cannot explain).
+func clockStepHosts(raw *rawExperiment) []string {
+	pre, err := clocksync.EstimateAll(raw.preStamps, raw.ref)
+	if err != nil {
+		return nil
+	}
+	post, err := clocksync.EstimateAll(raw.postStamps, raw.ref)
+	if err != nil {
+		return nil
+	}
+	var hosts []string
+	for h, pb := range pre {
+		qb, ok := post[h]
+		if !ok {
+			continue
+		}
+		// The alpha intervals are rigorous per-phase bounds: an affine
+		// clock's true alpha lies in both, so disjoint intervals prove no
+		// single affine model spans the experiment.
+		if qb.AlphaLo > pb.AlphaHi || qb.AlphaHi < pb.AlphaLo {
+			hosts = append(hosts, h)
+		}
+	}
+	sort.Strings(hosts)
+	return hosts
 }
 
 // snapshotTimelines deep-copies the store's timelines so later experiments

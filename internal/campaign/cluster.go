@@ -1,0 +1,902 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/clocksync"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/timeline"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// The clustered runner: one core.Runtime per transport endpoint, each
+// owning a subset of the virtual hosts, cooperating through a small
+// control protocol to run the same experiments the single-process engine
+// runs. One endpoint — the owner of the lexicographically first host, so
+// the analysis reference machine is local to it — coordinates:
+//
+//	reset(i)  ->  members reset their runtimes, move to epoch i+1,  ack
+//	(pre-sync: clock ping-pong frames against every remote host)
+//	start(i)  ->  members start their local auto-start nodes
+//	done(i)   <-  a member's local nodes all exited/crashed
+//	seal(i)   ->  members seal, kill stragglers, stream results back
+//	result(i) <-  one frame per local timeline (the §3.5.6 text format
+//	              is the wire format) plus outcomes
+//	(post-sync), then the coordinator runs the ordinary analysis phase.
+//
+// Every coordinator->member instruction is re-broadcast until its effect
+// is observed and every member->coordinator report is re-sent until the
+// next instruction arrives, so the protocol rides out UDP loss with
+// idempotent handlers instead of acknowledgement state machines.
+type clusterMsg struct {
+	Index     int
+	Peer      string
+	Completed bool
+	Outcomes  map[string]string
+	Timeline  string   // one encoded local timeline (result frames)
+	Dropped   []string // owners of timelines that could not be shipped
+	Seq       int      // result frame ordinal
+	Total     int      // result frame count from this peer
+}
+
+// syncWire is the payload of the clock-sync ping-pong frames.
+type syncWire struct {
+	Seq        int
+	RemoteRecv int64 // remote clock at ping receipt
+	RemoteSend int64 // remote clock at pong transmission
+}
+
+// Protocol ops, carried in Message.State of KindCtrl frames.
+const (
+	opReset   = "reset"
+	opResetOK = "resetok"
+	opStart   = "start"
+	opDone    = "done"
+	opSeal    = "seal"
+	opResult  = "result"
+	opStop    = "stop"
+)
+
+const (
+	clusterRetry       = 25 * time.Millisecond
+	clusterAckTimeout  = 10 * time.Second
+	clusterPongTimeout = 500 * time.Millisecond
+)
+
+func encodeClusterMsg(m clusterMsg) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic("campaign: encoding cluster message: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeClusterMsg(b []byte) (clusterMsg, error) {
+	var m clusterMsg
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return m, err
+}
+
+func encodeSyncWire(w syncWire) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		panic("campaign: encoding sync frame: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeSyncWire(b []byte) (syncWire, error) {
+	var w syncWire
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w)
+	return w, err
+}
+
+// Member is one endpoint of a clustered study: a private runtime hosting
+// the locally-owned virtual hosts, listening on its transport. The
+// coordinator member drives the protocol (RunStudy); the others follow
+// (Serve).
+type Member struct {
+	c  *Campaign
+	st *Study
+	tr transport.Transport
+	rt *core.Runtime
+
+	peer    string   // this endpoint's peer name
+	hosts   []string // all hosts, sorted (cluster-wide)
+	ref     string   // reference host (sorted-first, coordinator-local)
+	timeout time.Duration
+	syncSeq int // monotonic across mini-phases: a stale pong must never match
+
+	inbox chan transport.Message
+	quit  chan struct{} // closed by Quit; unblocks Serve without a frame
+}
+
+// NewMember builds one endpoint's runtime for the study: the campaign
+// hosts owned by tr's topology get clocks here, every node definition is
+// registered (placement says which ones run here), and a chaos engine
+// attaches when the study carries action faults.
+func NewMember(c *Campaign, st *Study, tr transport.Transport) (*Member, error) {
+	topo := tr.Topology()
+	timeout := st.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	m := &Member{
+		c:       c,
+		st:      st,
+		tr:      tr,
+		peer:    topo.Local,
+		timeout: timeout,
+		inbox:   make(chan transport.Message, 256),
+		quit:    make(chan struct{}),
+	}
+
+	cfg := c.Runtime
+	cfg.Transport = tr
+	rt := core.New(cfg)
+	for _, h := range c.Hosts {
+		m.hosts = append(m.hosts, h.Name)
+		switch topo.Owner(h.Name) {
+		case topo.Local:
+			rt.AddHost(h.Name, h.Clock)
+		case "":
+			// An unowned host would silently never run its nodes on any
+			// endpoint — and the experiment could then be accepted with
+			// that machine's injections unchecked. Refuse the topology.
+			rt.Shutdown()
+			return nil, fmt.Errorf("campaign: cluster member %q: no peer owns host %q", m.peer, h.Name)
+		}
+	}
+	sort.Strings(m.hosts)
+	if len(m.hosts) == 0 {
+		rt.Shutdown()
+		return nil, fmt.Errorf("campaign: cluster member %q: no hosts", m.peer)
+	}
+	m.ref = m.hosts[0]
+	for _, def := range st.Nodes {
+		if err := rt.Register(def); err != nil {
+			rt.Shutdown()
+			return nil, err
+		}
+	}
+	placement := make(map[string]string, len(st.Placement))
+	for _, e := range st.Placement {
+		if e.Host != "" {
+			placement[e.Nickname] = e.Host
+		}
+	}
+	rt.SetPlacement(placement)
+	if chaos.HasActionFaults(st.Nodes) {
+		if err := chaos.ValidateSpecs(st.Nodes, m.hosts); err != nil {
+			rt.Shutdown()
+			return nil, err
+		}
+		chaos.Attach(rt, st.ChaosSeed)
+	}
+	if topo.Owner(m.ref) == "" {
+		// Nobody owns the reference host (a typo'd ownership table): no
+		// process would ever coordinate and the cluster would hang in
+		// Serve. Fail fast, locally, on every member.
+		rt.Shutdown()
+		return nil, fmt.Errorf("campaign: cluster member %q: no peer owns reference host %q", m.peer, m.ref)
+	}
+	m.rt = rt
+	rt.SetTransportHook(m.hook)
+	if err := rt.StartTransport(); err != nil {
+		rt.Shutdown()
+		return nil, fmt.Errorf("campaign: cluster member %q: %w", m.peer, err)
+	}
+	return m, nil
+}
+
+// Runtime returns the member's runtime (for artifact emission by tools).
+func (m *Member) Runtime() *core.Runtime { return m.rt }
+
+// Coordinator reports whether this member owns the reference host and so
+// must drive the protocol with RunStudy.
+func (m *Member) Coordinator() bool { return m.tr.Topology().Owner(m.ref) == m.peer }
+
+// Close shuts the member's runtime down (the transport stays the
+// caller's to close).
+func (m *Member) Close() { m.rt.Shutdown() }
+
+// Quit unblocks Serve without a stop frame — the in-process runner's
+// shutdown path, where a lost datagram must not wedge the study.
+func (m *Member) Quit() {
+	select {
+	case <-m.quit:
+	default:
+		close(m.quit)
+	}
+}
+
+// hook receives the transport frames core does not consume. Sync pings
+// are answered inline — they only read a clock; everything else lands in
+// the inbox for the protocol loops.
+func (m *Member) hook(msg transport.Message) {
+	if msg.Kind == transport.KindSyncPing {
+		w, err := decodeSyncWire(msg.Payload)
+		if err != nil {
+			return
+		}
+		clk := m.rt.HostClock(msg.ToHost)
+		if clk == nil {
+			return
+		}
+		w.RemoteRecv = int64(clk.Now())
+		w.RemoteSend = int64(clk.Now())
+		reply := transport.Message{
+			Kind:    transport.KindSyncPong,
+			To:      msg.From,
+			ToHost:  msg.ToHost, // which remote clock answered
+			Payload: encodeSyncWire(w),
+		}
+		if err := m.tr.SendPeer(msg.From, reply); err != nil {
+			m.rt.Logf("campaign: cluster %s: sync pong: %v", m.peer, err)
+		}
+		return
+	}
+	select {
+	case m.inbox <- msg:
+	default: // a full inbox behaves like a lossy network; senders retry
+	}
+}
+
+// localEntries returns the placement entries whose hosts this member
+// owns.
+func (m *Member) localEntries() []spec.NodeEntry {
+	topo := m.tr.Topology()
+	var out []spec.NodeEntry
+	for _, e := range m.st.Placement {
+		if e.Host != "" && topo.Owner(e.Host) == m.peer {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// collectResult snapshots this member's runtime artifacts after a seal.
+func (m *Member) collectResult() (locals []*timeline.Local, outcomes map[string]string) {
+	return snapshotTimelines(m.rt.Store().All()), m.rt.Outcomes()
+}
+
+// sendCtrl ships one protocol frame to a peer.
+func (m *Member) sendCtrl(peer, op string, msg clusterMsg) {
+	msg.Peer = m.peer
+	frame := transport.Message{Kind: transport.KindCtrl, From: m.peer, To: peer, State: op, Payload: encodeClusterMsg(msg)}
+	if err := m.tr.SendPeer(peer, frame); err != nil {
+		m.rt.Logf("campaign: cluster %s: sending %s to %s: %v", m.peer, op, peer, err)
+	}
+}
+
+// broadcastCtrl ships one protocol frame to every peer.
+func (m *Member) broadcastCtrl(op string, msg clusterMsg) {
+	for _, p := range m.tr.Topology().PeerNames() {
+		m.sendCtrl(p, op, msg)
+	}
+}
+
+// Serve follows the coordinator's protocol until a stop frame or channel
+// close. Non-coordinator members run this on their main goroutine.
+func (m *Member) Serve() error {
+	var (
+		index     = -1 // experiment being served
+		started   bool
+		sup       *supervisor
+		sealed    bool
+		doneQuit  chan struct{}
+		resFrames []clusterMsg
+	)
+	stopDone := func() {
+		if doneQuit != nil {
+			close(doneQuit)
+			doneQuit = nil
+		}
+	}
+	defer stopDone()
+	for {
+		var msg transport.Message
+		select {
+		case msg = <-m.inbox:
+		case <-m.quit:
+			if sup != nil {
+				sup.stop()
+				sup = nil
+			}
+			return nil
+		}
+		cm, err := decodeClusterMsg(msg.Payload)
+		if err != nil {
+			continue
+		}
+		switch msg.State {
+		case opReset:
+			if cm.Index < index {
+				continue // a straggler from a finished experiment; never roll back
+			}
+			if cm.Index > index {
+				stopDone()
+				if sup != nil {
+					sup.stop()
+					sup = nil
+				}
+				m.rt.SealExperiment()
+				m.rt.KillAll()
+				m.rt.Wait(time.Second)
+				m.rt.ResetExperiment()
+				m.tr.SetEpoch(uint64(cm.Index) + 1)
+				index, started, sealed, resFrames = cm.Index, false, false, nil
+			}
+			m.sendCtrl(cm.Peer, opResetOK, clusterMsg{Index: index})
+		case opStart:
+			if cm.Index != index || started {
+				continue
+			}
+			started = true
+			if m.st.Restarts != nil {
+				sup = startSupervisor(m.rt, *m.st.Restarts)
+			}
+			m.rt.AddPlacement(m.localEntries())
+			for _, e := range m.localEntries() {
+				if !e.AutoStart() {
+					continue
+				}
+				if _, err := m.rt.StartNode(e.Nickname, e.Host); err != nil {
+					m.rt.Logf("campaign: cluster %s: starting %s: %v", m.peer, e.Nickname, err)
+				}
+			}
+			// Report completion, and keep reporting until sealed: the
+			// datagram may be lost.
+			doneQuit = make(chan struct{})
+			go m.reportDone(cm.Peer, index, doneQuit)
+		case opSeal:
+			if cm.Index != index {
+				continue
+			}
+			if !sealed {
+				sealed = true
+				stopDone()
+				if sup != nil {
+					sup.stop()
+					sup = nil
+				}
+				m.rt.SealExperiment()
+				m.rt.KillAll()
+				m.rt.Wait(time.Second)
+				locals, outcomes := m.collectResult()
+				resFrames = resultFrames(m.rt.Logf, index, locals, outcomes)
+			}
+			for _, f := range resFrames {
+				m.sendCtrl(cm.Peer, opResult, f)
+			}
+		case opStop:
+			if sup != nil {
+				sup.stop()
+				sup = nil
+			}
+			return nil
+		}
+	}
+}
+
+// reportDone waits for the member's local nodes to finish, then sends
+// done frames until quit closes (the seal acknowledges them).
+func (m *Member) reportDone(coordinator string, index int, quit chan struct{}) {
+	completed := m.rt.Wait(m.timeout)
+	for {
+		m.sendCtrl(coordinator, opDone, clusterMsg{Index: index, Completed: completed})
+		select {
+		case <-quit:
+			return
+		case <-time.After(clusterRetry * 4):
+		}
+	}
+}
+
+// resultFrames encodes a member's artifacts as result frames, one
+// timeline per frame (the §3.5.6 text format is the wire format), with
+// outcomes repeated in each so any one frame carries them. A timeline
+// that cannot be encoded or cannot fit one frame is not counted in
+// Total (or the coordinator would wait forever for a frame that can
+// never arrive) — its owner is reported in Dropped instead, and the
+// coordinator discards the experiment: a machine's injections cannot be
+// verified from a global timeline that machine is missing from, so
+// accepting would be unsound.
+func resultFrames(logf func(string, ...interface{}), index int, locals []*timeline.Local, outcomes map[string]string) []clusterMsg {
+	// Leave generous headroom under transport.MaxFrame for the gob
+	// envelope, outcome map, and frame header.
+	const maxTimelineWire = transport.MaxFrame - 4*1024
+	frames := make([]clusterMsg, 0, len(locals)+1)
+	var dropped []string
+	for _, tl := range locals {
+		doc, err := timeline.EncodeString(tl)
+		if err != nil {
+			logf("campaign: cluster result: timeline %q not encodable: %v", tl.Owner, err)
+			dropped = append(dropped, tl.Owner)
+			continue
+		}
+		if len(doc) > maxTimelineWire {
+			logf("campaign: cluster result: timeline %q is %d bytes, exceeds the %d-byte frame budget", tl.Owner, len(doc), maxTimelineWire)
+			dropped = append(dropped, tl.Owner)
+			continue
+		}
+		frames = append(frames, clusterMsg{Index: index, Timeline: doc, Outcomes: outcomes})
+	}
+	if len(frames) == 0 {
+		frames = append(frames, clusterMsg{Index: index, Outcomes: outcomes})
+	}
+	for i := range frames {
+		frames[i].Seq = i
+		frames[i].Total = len(frames)
+		frames[i].Dropped = dropped
+	}
+	return frames
+}
+
+// stopCluster broadcasts the stop instruction several times: stop is the
+// one instruction with no observable effect to retry against, so repeat
+// sends stand in for the re-broadcast-until-acknowledged rule the rest
+// of the protocol follows. (The in-process runner also has the direct
+// Quit escape hatch; a real lokid member additionally quits on SIGINT.)
+func (m *Member) stopCluster() {
+	for i := 0; i < 5; i++ {
+		m.broadcastCtrl(opStop, clusterMsg{})
+		time.Sleep(clusterRetry)
+	}
+}
+
+// RunStudy drives the whole study from the coordinator member, returning
+// records identical in shape to the single-process engine's.
+func (m *Member) RunStudy() (*StudyResult, error) {
+	defer m.stopCluster()
+	experiments := m.st.Experiments
+	if experiments <= 0 {
+		experiments = 1
+	}
+	records := make([]*ExperimentRecord, experiments)
+	for i := 0; i < experiments; i++ {
+		raw, err := m.runOne(i)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: clustered experiment %d: %w", i, err)
+		}
+		rec, err := analyzeExperiment(m.c, m.st, raw)
+		if err != nil {
+			return nil, err
+		}
+		records[i] = rec
+	}
+	return &StudyResult{Name: m.st.Name, Records: records}, nil
+}
+
+// RunOne runs a single clustered experiment (cmd/lokid's one-experiment
+// mode), returning the analyzed record plus the raw artifacts.
+func (m *Member) RunOne() (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
+	defer m.stopCluster()
+	raw, err := m.runOne(0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rec, err := analyzeExperiment(m.c, m.st, raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rec, raw.allStamps(), raw.locals, nil
+}
+
+// runOne executes one experiment's runtime phase across the cluster.
+func (m *Member) runOne(index int) (*rawExperiment, error) {
+	peers := m.tr.Topology().PeerNames()
+
+	// Reset barrier: every member on a fresh testbed and the new epoch
+	// before any traffic flows.
+	m.rt.ResetExperiment()
+	m.tr.SetEpoch(uint64(index) + 1)
+	acked, err := m.await(opResetOK, index, asSet(peers), nil, func() {
+		m.broadcastCtrl(opReset, clusterMsg{Index: index})
+	})
+	_ = acked
+	if err != nil {
+		return nil, fmt.Errorf("reset barrier: %w", err)
+	}
+
+	// Pre-experiment synchronization mini-phase: direct reads for local
+	// hosts, socket round trips for remote ones. A failed phase (loss
+	// burst on a real network) discards this experiment at analysis, but
+	// the protocol still runs it end to end so every member stays in
+	// lockstep for the next one.
+	var syncErr string
+	pre, err := m.clusterStamps()
+	if err != nil {
+		syncErr = fmt.Sprintf("pre-sync: %v", err)
+	}
+
+	// Start everywhere (idempotent; re-broadcast rides out loss), then
+	// wait for every member's local completion and our own.
+	var sup *supervisor
+	if m.st.Restarts != nil {
+		sup = startSupervisor(m.rt, *m.st.Restarts)
+	}
+	m.rt.AddPlacement(m.localEntries())
+	for _, e := range m.localEntries() {
+		if !e.AutoStart() {
+			continue
+		}
+		if _, err := m.rt.StartNode(e.Nickname, e.Host); err != nil {
+			if sup != nil {
+				sup.stop()
+			}
+			return nil, err
+		}
+	}
+	ownDone := make(chan bool, 1)
+	go func() { ownDone <- m.rt.Wait(m.timeout) }()
+
+	completed := true
+	dones, err := m.await(opDone, index, asSet(peers), ownDone, func() {
+		m.broadcastCtrl(opStart, clusterMsg{Index: index})
+	})
+	if err != nil {
+		completed = false // hung somewhere: abort, discard (§3.5.1)
+	}
+	for _, d := range dones {
+		if !d.Completed {
+			completed = false
+		}
+	}
+	if sup != nil {
+		sup.stop()
+	}
+
+	// Seal everywhere and collect results. Our own runtime seals first so
+	// no straggler restarts into a finished experiment.
+	m.rt.SealExperiment()
+	if len(m.rt.LiveNodes()) > 0 {
+		m.rt.KillAll()
+		m.rt.Wait(time.Second)
+	}
+	results, err := m.collectResults(index, peers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Post-experiment synchronization mini-phase.
+	post, err := m.clusterStamps()
+	if err != nil && syncErr == "" {
+		syncErr = fmt.Sprintf("post-sync: %v", err)
+	}
+
+	ownLocals, ownOutcomes := m.collectResult()
+	locals := append([]*timeline.Local(nil), ownLocals...)
+	outcomes := make(map[string]string, len(ownOutcomes))
+	for k, v := range ownOutcomes {
+		outcomes[k] = v
+	}
+	var lost []string
+	for _, frames := range results {
+		for i, f := range frames {
+			if f.Timeline != "" {
+				tl, err := timeline.DecodeString(f.Timeline)
+				if err != nil {
+					return nil, fmt.Errorf("decoding peer timeline: %w", err)
+				}
+				locals = append(locals, tl)
+			}
+			for k, v := range f.Outcomes {
+				outcomes[k] = v
+			}
+			if i == 0 {
+				lost = append(lost, f.Dropped...)
+			}
+		}
+	}
+	sort.Slice(locals, func(i, j int) bool { return locals[i].Owner < locals[j].Owner })
+	sort.Strings(lost)
+
+	return &rawExperiment{
+		index:         index,
+		completed:     completed,
+		outcomes:      outcomes,
+		preStamps:     pre,
+		postStamps:    post,
+		locals:        locals,
+		lostTimelines: lost,
+		syncError:     syncErr,
+		ref:           m.ref,
+	}, nil
+}
+
+// await re-runs send until one frame of the wanted op and index has
+// arrived from every expected peer (own, when non-nil, stands for this
+// member's local completion). It returns the collected frames.
+func (m *Member) await(op string, index int, expect map[string]bool, own chan bool, send func()) ([]clusterMsg, error) {
+	var out []clusterMsg
+	ownPending := own != nil
+	deadline := time.Now().Add(m.timeout + clusterAckTimeout)
+	send()
+	ticker := time.NewTicker(clusterRetry)
+	defer ticker.Stop()
+	for len(expect) > 0 || ownPending {
+		select {
+		case <-m.quit:
+			return out, fmt.Errorf("member quit while awaiting %s", op)
+		case ok := <-own:
+			ownPending = false
+			out = append(out, clusterMsg{Peer: m.peer, Index: index, Completed: ok})
+		case msg := <-m.inbox:
+			cm, err := decodeClusterMsg(msg.Payload)
+			if err != nil || msg.State != op || cm.Index != index {
+				continue
+			}
+			if expect[cm.Peer] {
+				delete(expect, cm.Peer)
+				out = append(out, cm)
+			}
+		case <-ticker.C:
+			if time.Now().After(deadline) {
+				return out, fmt.Errorf("timed out awaiting %s from %v (own pending: %v)", op, keys(expect), ownPending)
+			}
+			send()
+		}
+	}
+	return out, nil
+}
+
+// collectResults re-broadcasts seal until every peer's full result frame
+// set has arrived.
+func (m *Member) collectResults(index int, peers []string) (map[string][]clusterMsg, error) {
+	got := make(map[string]map[int]clusterMsg, len(peers))
+	for _, p := range peers {
+		got[p] = make(map[int]clusterMsg)
+	}
+	complete := func(p string) bool {
+		fr := got[p]
+		if len(fr) == 0 {
+			return false
+		}
+		for _, f := range fr {
+			if len(fr) < f.Total {
+				return false
+			}
+		}
+		return true
+	}
+	allDone := func() bool {
+		for _, p := range peers {
+			if !complete(p) {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(clusterAckTimeout)
+	m.broadcastCtrl(opSeal, clusterMsg{Index: index})
+	ticker := time.NewTicker(clusterRetry)
+	defer ticker.Stop()
+	for !allDone() {
+		select {
+		case <-m.quit:
+			return nil, fmt.Errorf("member quit while collecting results")
+		case msg := <-m.inbox:
+			cm, err := decodeClusterMsg(msg.Payload)
+			if err != nil || msg.State != opResult || cm.Index != index {
+				continue
+			}
+			if fr, ok := got[cm.Peer]; ok {
+				fr[cm.Seq] = cm
+			}
+		case <-ticker.C:
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("timed out collecting results (have %v)", resultCounts(got))
+			}
+			m.broadcastCtrl(opSeal, clusterMsg{Index: index})
+		}
+	}
+	out := make(map[string][]clusterMsg, len(got))
+	for p, fr := range got {
+		seqs := make([]int, 0, len(fr))
+		for s := range fr {
+			seqs = append(seqs, s)
+		}
+		sort.Ints(seqs)
+		for _, s := range seqs {
+			out[p] = append(out[p], fr[s])
+		}
+	}
+	return out, nil
+}
+
+// clusterStamps runs one synchronization mini-phase across the cluster:
+// the in-memory exchange for hosts local to the coordinator, and real
+// socket round trips — send a ping, read the remote clock on receipt,
+// read the reference clock when the pong lands — for remote ones. Socket
+// transit is genuinely positive, which is the property the convex-hull
+// estimator needs; socket jitter is exactly the measurement noise the
+// thesis's getstamps faced on its LAN.
+func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
+	cfg := m.c.Sync
+	cfg.setDefaults()
+	refClock := m.rt.HostClock(m.ref)
+	if refClock == nil {
+		return nil, fmt.Errorf("campaign: coordinator %q does not own reference host %q", m.peer, m.ref)
+	}
+	// Local hosts: the ordinary in-memory exchange.
+	msgs := exchangeStamps(m.rt, m.ref, cfg)
+	// Remote hosts: socket ping-pong. The sequence number is monotonic
+	// across mini-phases and experiments, so a pong that straggled past
+	// its round's timeout can never be paired with a later round's
+	// reference stamps (which would fabricate a negative transit and
+	// wrongly discard the experiment).
+	topo := m.tr.Topology()
+	for _, host := range m.hosts {
+		if topo.Owner(host) == m.peer {
+			continue
+		}
+		okRounds := 0
+		for i := 0; i < cfg.Messages; i++ {
+			m.syncSeq++
+			seq := m.syncSeq
+			refSend := refClock.Now()
+			ping := transport.Message{
+				Kind:    transport.KindSyncPing,
+				From:    m.peer,
+				ToHost:  host,
+				Payload: encodeSyncWire(syncWire{Seq: seq}),
+			}
+			if err := m.tr.SendHost(host, ping); err != nil {
+				return nil, fmt.Errorf("campaign: sync ping to %q: %w", host, err)
+			}
+			pong, ok := m.awaitPong(host, seq)
+			if !ok {
+				continue // a lost round trip only thins the sample set
+			}
+			refRecv := refClock.Now()
+			msgs = append(msgs,
+				clocksync.StampedMessage{
+					SendHost: m.ref, RecvHost: host,
+					SendTime: refSend, RecvTime: vclock.Ticks(pong.RemoteRecv),
+				},
+				clocksync.StampedMessage{
+					SendHost: host, RecvHost: m.ref,
+					SendTime: vclock.Ticks(pong.RemoteSend), RecvTime: refRecv,
+				})
+			okRounds++
+			wait(cfg.Spacing)
+		}
+		// Require most of the configured rounds only up to the point the
+		// estimator needs: a user asking for 1-2 rounds gets the same
+		// (likely unbounded, analysis-discarded) geometry as in-process,
+		// not a study abort.
+		need := cfg.Messages
+		if need > 3 {
+			need = 3
+		}
+		if okRounds < need {
+			return nil, fmt.Errorf("campaign: sync with host %q: only %d of %d round trips survived", host, okRounds, cfg.Messages)
+		}
+	}
+	return msgs, nil
+}
+
+// awaitPong waits for the numbered pong from the named host.
+func (m *Member) awaitPong(host string, seq int) (syncWire, bool) {
+	deadline := time.After(clusterPongTimeout)
+	for {
+		select {
+		case <-m.quit:
+			return syncWire{}, false
+		case msg := <-m.inbox:
+			if msg.Kind != transport.KindSyncPong || msg.ToHost != host {
+				continue
+			}
+			w, err := decodeSyncWire(msg.Payload)
+			if err != nil || w.Seq != seq {
+				continue
+			}
+			return w, true
+		case <-deadline:
+			return syncWire{}, false
+		}
+	}
+}
+
+// RunClustered executes the study with every campaign host in its own
+// runtime, one transport endpoint per host, connected over the named
+// transport kind on 127.0.0.1 — the "loopback multi-process" topology,
+// with process boundaries replaced by runtime boundaries so it can run
+// (and be raced) inside one test binary. cmd/lokid wires real OS
+// processes to the same Member protocol.
+func RunClustered(c *Campaign, st *Study, kind string) (*StudyResult, error) {
+	hosts := make(map[string]string, len(c.Hosts))
+	for _, h := range c.Hosts {
+		hosts[h.Name] = h.Name // peer per host, peer name = host name
+	}
+	eps, err := transport.NewLoopbackCluster(kind, hosts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+
+	var coordinator *Member
+	members := make([]*Member, 0, len(eps))
+	serveErr := make(chan error, len(eps))
+	serving := 0
+	defer func() {
+		// Every exit path — NewMember failure included — must unblock
+		// the Serve goroutines (a lost stop datagram or an early error
+		// must not wedge or leak them) before shutting runtimes down.
+		for _, m := range members {
+			m.Quit()
+		}
+		for i := 0; i < serving; i++ {
+			<-serveErr
+		}
+		for _, m := range members {
+			m.Close()
+		}
+		if coordinator != nil {
+			coordinator.Close()
+		}
+	}()
+	for _, peer := range sortedPeers(eps) {
+		m, err := NewMember(c, st, eps[peer])
+		if err != nil {
+			return nil, err
+		}
+		if m.Coordinator() {
+			coordinator = m
+			continue
+		}
+		members = append(members, m)
+		serving++
+		go func(m *Member) { serveErr <- m.Serve() }(m)
+	}
+	if coordinator == nil {
+		return nil, fmt.Errorf("campaign: no member owns reference host")
+	}
+	return coordinator.RunStudy()
+}
+
+func sortedPeers(eps map[string]transport.Transport) []string {
+	out := make([]string, 0, len(eps))
+	for p := range eps {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func asSet(ss []string) map[string]bool {
+	out := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		out[s] = true
+	}
+	return out
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func resultCounts(got map[string]map[int]clusterMsg) map[string]int {
+	out := make(map[string]int, len(got))
+	for p, fr := range got {
+		out[p] = len(fr)
+	}
+	return out
+}

@@ -266,7 +266,7 @@ func RunMatrix(c *Campaign, m *Matrix) (*MatrixResult, error) {
 					fail(err)
 					return
 				}
-				sr, err := runStudy(pointCampaign(c, m, p, innerW), st)
+				sr, err := runStudyOn(pointCampaign(c, m, p, innerW), st)
 				if err != nil {
 					fail(fmt.Errorf("campaign: matrix point %s: %w", p.Name(), err))
 					return

@@ -218,6 +218,28 @@ func TestClockStepDiscardsNotAborts(t *testing.T) {
 		if rec.AnalysisError == "" {
 			t.Errorf("experiment %d has no analysis error", rec.Index)
 		}
+		// The step happened between the two sync mini-phases, each of
+		// which is affine on its own: the analysis must name the cause,
+		// not just report an infeasible fit.
+		if !rec.ClockStepSuspected {
+			t.Errorf("experiment %d: clock step not suspected (error: %s)", rec.Index, rec.AnalysisError)
+		}
+		if len(rec.ClockStepHosts) != 1 || rec.ClockStepHosts[0] != "h2" {
+			t.Errorf("experiment %d: suspected hosts = %v, want [h2]", rec.Index, rec.ClockStepHosts)
+		}
+	}
+}
+
+// TestCleanRunNotClockStepSuspected: a feasible experiment must never
+// carry the clock-step verdict.
+func TestCleanRunNotClockStepSuspected(t *testing.T) {
+	res, err := Run(stepCampaign(t, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.Study("steps").Records[0]
+	if rec.ClockStepSuspected || len(rec.ClockStepHosts) != 0 {
+		t.Fatalf("clean run suspected of a clock step: %+v", rec)
 	}
 }
 

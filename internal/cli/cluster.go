@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/transport"
+)
+
+// ClusterOptions carries cmd/lokid's multi-process flags.
+type ClusterOptions struct {
+	// Kind selects the socket transport: "udp" or "tcp".
+	Kind string
+	// Name is this process's peer name.
+	Name string
+	// Listen is this process's listen address; it overrides the Peers
+	// entry for Name (so a process may listen on 0.0.0.0 while peers
+	// dial its routable address).
+	Listen string
+	// Peers is the peer table, "name=addr,...", every process included.
+	Peers string
+	// Owners assigns virtual hosts to peers, "host=peer,...".
+	Owners string
+	// OutDir is the artifact directory; required for the coordinator.
+	OutDir string
+}
+
+// ParseAssignments parses "key=value,key=value" flag syntax.
+func ParseAssignments(s, what string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("cli: %s entry %q: want key=value", what, part)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("cli: %s entry %q: duplicate key", what, part)
+		}
+		out[k] = v
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cli: empty %s table", what)
+	}
+	return out, nil
+}
+
+// BuildClusterTransport assembles the socket transport for one lokid
+// process from its cluster flags.
+func BuildClusterTransport(o ClusterOptions) (transport.Transport, error) {
+	if o.Name == "" {
+		return nil, fmt.Errorf("cli: multi-process mode needs -name")
+	}
+	peers, err := ParseAssignments(o.Peers, "peer")
+	if err != nil {
+		return nil, err
+	}
+	owners, err := ParseAssignments(o.Owners, "owner")
+	if err != nil {
+		return nil, err
+	}
+	if o.Listen != "" {
+		peers[o.Name] = o.Listen
+	}
+	topo := transport.Topology{Local: o.Name, Peers: peers, Hosts: owners}
+	switch o.Kind {
+	case transport.KindNameUDP, "":
+		return transport.NewUDP(topo)
+	case transport.KindNameTCP:
+		return transport.NewTCP(topo)
+	default:
+		return nil, fmt.Errorf("cli: unknown transport %q (want udp or tcp)", o.Kind)
+	}
+}

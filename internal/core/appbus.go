@@ -31,11 +31,21 @@ const inboxCapacity = 256
 // arrive together, where the DES network samples a latency per copy.
 func (h *Handle) Send(to string, payload interface{}) bool {
 	h.node.touch()
-	target := h.node.rt.Node(to)
+	rt := h.node.rt
+	target := rt.Node(to)
 	if target == nil {
+		// Not live here — but possibly live in another process. The
+		// message is shaped by the LOCAL interposition layer before it
+		// reaches the socket (the send-side fault hook), then framed and
+		// shipped; replicated chaos ops keep peer endpoints' shaping
+		// state converged. True is returned like any datagram send: the
+		// sender cannot observe a remote drop.
+		if toHost, remote := rt.remoteHostFor(to); remote {
+			h.sendRemote(to, toHost, payload)
+			return true
+		}
 		return false
 	}
-	rt := h.node.rt
 	fate, blocked := rt.shapeAppMessage(h.node.Host(), target.Host(), payload)
 	if blocked || fate.Drop {
 		return true // lost in flight; datagram senders are not told
@@ -64,6 +74,33 @@ func (h *Handle) Send(to string, payload interface{}) bool {
 	return ok
 }
 
+// sendRemote ships one shaped application message toward the endpoint
+// owning toHost. In-flight fates (drop, delay, duplicates, corruption)
+// are resolved here, on the sender's side of the wire, so socket and
+// in-memory links obey one filter semantics.
+func (h *Handle) sendRemote(to, toHost string, payload interface{}) {
+	rt := h.node.rt
+	fromHost := h.node.Host()
+	fate, blocked := rt.shapeAppMessage(fromHost, toHost, payload)
+	if blocked || fate.Drop {
+		return // lost in flight
+	}
+	if fate.Payload != nil {
+		payload = fate.Payload
+	}
+	nick := h.Nickname()
+	send := func() {
+		for c := 0; c <= fate.Copies; c++ {
+			rt.sendRemoteApp(nick, fromHost, to, toHost, payload)
+		}
+	}
+	if fate.Delay > 0 {
+		rt.ExpAfterFunc(fate.Delay.Duration(), send)
+		return
+	}
+	send()
+}
+
 // deliver places a message in the handle's inbox, non-blocking. from, when
 // non-empty, names the sender for the inbox-full diagnostic.
 func (h *Handle) deliver(m AppMessage, from string) bool {
@@ -78,14 +115,41 @@ func (h *Handle) deliver(m AppMessage, from string) bool {
 	}
 }
 
-// Broadcast sends a payload to every other live node, returning how many
-// accepted it.
+// Broadcast sends a payload to every other live node — including nodes
+// placed on hosts owned by other endpoints, which may or may not be live
+// there — returning how many accepted it. Without remote endpoints (the
+// single-process default) this is the original cheap loop: broadcasts
+// are on the apps' heartbeat paths and must not pay clustered-mode
+// bookkeeping.
 func (h *Handle) Broadcast(payload interface{}) int {
 	n := 0
+	remote := h.node.rt.remoteNicknames() // nil without a multi-endpoint transport
+	if len(remote) == 0 {
+		for _, nick := range h.node.rt.LiveNodes() {
+			if nick == h.Nickname() {
+				continue
+			}
+			if h.Send(nick, payload) {
+				n++
+			}
+		}
+		return n
+	}
+	sent := map[string]bool{h.Nickname(): true}
 	for _, nick := range h.node.rt.LiveNodes() {
-		if nick == h.Nickname() {
+		if sent[nick] {
 			continue
 		}
+		sent[nick] = true
+		if h.Send(nick, payload) {
+			n++
+		}
+	}
+	for _, nick := range remote {
+		if sent[nick] {
+			continue
+		}
+		sent[nick] = true
 		if h.Send(nick, payload) {
 			n++
 		}

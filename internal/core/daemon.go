@@ -115,6 +115,12 @@ type ExperimentResult struct {
 func (c *CentralDaemon) RunExperiment(nodes []spec.NodeEntry, timeout time.Duration) (*ExperimentResult, error) {
 	c.rt.ResetExperiment()
 
+	// Record the node file's placement for transport routing (frames for
+	// nodes hosted by other endpoints). Merged, not replaced: a cluster
+	// member passes only its local entries here but has already installed
+	// the full study placement.
+	c.rt.AddPlacement(nodes)
+
 	for _, e := range nodes {
 		if !e.AutoStart() {
 			continue

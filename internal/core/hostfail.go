@@ -21,12 +21,16 @@ import (
 
 // CrashHost simulates a host failure: every node running on the host
 // crashes (recorded in its timeline and notified per its CRASH notify
-// list), and the host refuses new nodes until RebootHost.
+// list), and the host refuses new nodes until RebootHost. Crashing a host
+// owned by another endpoint forwards the operation there.
 func (r *Runtime) CrashHost(name string) error {
 	r.mu.Lock()
 	hs, ok := r.hosts[name]
 	if !ok {
 		r.mu.Unlock()
+		if r.hostIsRemote(name) {
+			return r.forwardChaosToOwner(name, chaosOp{Op: "crashhost", A: name})
+		}
 		return fmt.Errorf("core: unknown host %q", name)
 	}
 	hs.down = true
@@ -44,15 +48,20 @@ func (r *Runtime) CrashHost(name string) error {
 }
 
 // RebootHost brings a crashed host back; its local daemon reconnects
-// (§3.6.4) and nodes may be started on it again.
+// (§3.6.4) and nodes may be started on it again. Rebooting a host owned
+// by another endpoint forwards the operation there.
 func (r *Runtime) RebootHost(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	hs, ok := r.hosts[name]
 	if !ok {
+		r.mu.Unlock()
+		if r.hostIsRemote(name) {
+			return r.forwardChaosToOwner(name, chaosOp{Op: "reboothost", A: name})
+		}
 		return fmt.Errorf("core: unknown host %q", name)
 	}
 	hs.down = false
+	r.mu.Unlock()
 	return nil
 }
 

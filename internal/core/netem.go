@@ -126,8 +126,18 @@ func (r *Runtime) ExpAfterFunc(d time.Duration, fn func()) {
 
 // PartitionHosts blocks application-bus traffic between hosts a and b in
 // both directions. Notifications still flow: Loki's control LAN is
-// separate from the system under study's.
+// separate from the system under study's. With a multi-endpoint
+// transport the mutation is replicated to every peer process, so traffic
+// originating anywhere on the testbed sees the same partition.
 func (r *Runtime) PartitionHosts(a, b string) {
+	if a == b {
+		return
+	}
+	r.partitionHostsLocal(a, b)
+	r.broadcastChaos(chaosOp{Op: "partition", A: a, B: b})
+}
+
+func (r *Runtime) partitionHostsLocal(a, b string) {
 	if a == b {
 		return
 	}
@@ -137,15 +147,25 @@ func (r *Runtime) PartitionHosts(a, b string) {
 	r.netem.mu.Unlock()
 }
 
-// HealHosts removes the partition between a and b.
+// HealHosts removes the partition between a and b (replicated to peers).
 func (r *Runtime) HealHosts(a, b string) {
+	r.healHostsLocal(a, b)
+	r.broadcastChaos(chaosOp{Op: "heal", A: a, B: b})
+}
+
+func (r *Runtime) healHostsLocal(a, b string) {
 	r.netem.mu.Lock()
 	delete(r.netem.partitions, hostPair(a, b))
 	r.netem.mu.Unlock()
 }
 
-// HealAllPartitions removes every partition.
+// HealAllPartitions removes every partition (replicated to peers).
 func (r *Runtime) HealAllPartitions() {
+	r.healAllLocal()
+	r.broadcastChaos(chaosOp{Op: "healall"})
+}
+
+func (r *Runtime) healAllLocal() {
 	r.netem.mu.Lock()
 	r.netem.partitions = make(map[[2]string]bool)
 	r.netem.mu.Unlock()
@@ -168,8 +188,23 @@ func hostPair(a, b string) [2]string {
 
 // InstallLinkFilter interposes f on application-bus traffic over the
 // directed host link (simnet.Wildcard matches any host). Installing under
-// an existing (link, id) replaces that filter in place.
+// an existing (link, id) replaces that filter in place. Built-in filters
+// (Drop/Delay/Duplicate/Corrupt with the default envelope) are replicated
+// to peer endpoints; a custom Filter implementation cannot cross the wire
+// and shapes only traffic originating in this process.
 func (r *Runtime) InstallLinkFilter(link simnet.Link, id string, f simnet.Filter) {
+	r.installLinkFilterLocal(link, id, f)
+	if kind, p, extra, jitter, copies, ok := wireFilter(f); ok {
+		r.broadcastChaos(chaosOp{
+			Op: "filter", A: link.From, B: link.To, ID: id,
+			FilterKind: kind, P: p, Extra: extra, Jitter: jitter, Copies: copies,
+		})
+	} else if r.hasPeers() {
+		r.cfg.Logf("core: link filter %q is not a built-in; peer endpoints will not shape with it", id)
+	}
+}
+
+func (r *Runtime) installLinkFilterLocal(link simnet.Link, id string, f simnet.Filter) {
 	ne := r.netem
 	ne.mu.Lock()
 	defer ne.mu.Unlock()
@@ -178,12 +213,25 @@ func (r *Runtime) InstallLinkFilter(link simnet.Link, id string, f simnet.Filter
 }
 
 // RemoveLinkFilter removes the filter installed under (link, id),
-// reporting whether one was present.
+// reporting whether one was present locally (replicated to peers).
 func (r *Runtime) RemoveLinkFilter(link simnet.Link, id string) bool {
+	ok := r.removeLinkFilterLocal(link, id)
+	r.broadcastChaos(chaosOp{Op: "unfilter", A: link.From, B: link.To, ID: id})
+	return ok
+}
+
+func (r *Runtime) removeLinkFilterLocal(link simnet.Link, id string) bool {
 	ne := r.netem
 	ne.mu.Lock()
 	defer ne.mu.Unlock()
 	return ne.filters.Remove(link, id)
+}
+
+// hasPeers reports whether the runtime's transport reaches other
+// endpoints.
+func (r *Runtime) hasPeers() bool {
+	tr := r.cfg.Transport
+	return tr != nil && len(tr.Topology().PeerNames()) > 0
 }
 
 // shapeAppMessage runs the interposition for one app-bus message and
@@ -221,10 +269,14 @@ func (r *Runtime) NodesOnHost(host string) []string {
 // StepHostClock shifts the named host's clock by delta — the clock
 // misbehaviour fault. The step is visible to every timestamp taken on that
 // host from now on, violating the affine clock model the off-line
-// synchronization assumes.
+// synchronization assumes. A step aimed at a host owned by another
+// endpoint is forwarded there.
 func (r *Runtime) StepHostClock(host string, delta vclock.Ticks) error {
 	c := r.HostClock(host)
 	if c == nil {
+		if r.hostIsRemote(host) {
+			return r.forwardChaosToOwner(host, chaosOp{Op: "clockstep", A: host, Delta: int64(delta)})
+		}
 		return fmt.Errorf("core: unknown host %q", host)
 	}
 	c.Step(delta)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/faultexpr"
 	"repro/internal/spec"
 	"repro/internal/timeline"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -55,6 +56,11 @@ type Config struct {
 	// Logf, if set, receives runtime diagnostics (dropped notifications,
 	// watchdog kills). Defaults to discarding them.
 	Logf func(format string, args ...interface{})
+	// Transport, if set, carries traffic for hosts owned by other
+	// endpoints (transport.go). Nil — or a transport whose topology is
+	// all-local, like transport.SingleProcess — keeps every path
+	// in-memory.
+	Transport transport.Transport
 }
 
 // Runtime is one Loki testbed: hosts, daemons, and nodes. Create with New,
@@ -68,17 +74,21 @@ type Runtime struct {
 	// has its own lock and is consulted on every Handle.Send.
 	netem *netem
 
-	mu         sync.Mutex
-	hosts      map[string]*hostState
-	defs       map[string]*NodeDef
-	nodes      map[string]*Node // live nodes by nickname
-	store      *timeline.Store  // the "NFS-mounted" timeline repository (§3.8)
-	outcomes   map[string]string
-	active     int
-	cond       *sync.Cond
-	stopped    bool
-	sealed     bool                            // experiment over; no nodes may start until reset
-	actionHook func(n *Node, f faultexpr.Spec) // built-in action dispatcher (netem.go)
+	mu            sync.Mutex
+	hosts         map[string]*hostState
+	defs          map[string]*NodeDef
+	nodes         map[string]*Node // live nodes by nickname
+	store         *timeline.Store  // the "NFS-mounted" timeline repository (§3.8)
+	outcomes      map[string]string
+	placement     map[string]string // nickname -> expected host, for remote routing
+	remoteNicks   []string          // cached sorted remote nicknames (transport.go)
+	remoteNicksOK bool
+	active        int
+	cond          *sync.Cond
+	stopped       bool
+	sealed        bool                            // experiment over; no nodes may start until reset
+	actionHook    func(n *Node, f faultexpr.Spec) // built-in action dispatcher (netem.go)
+	transportHook func(m transport.Message)       // cluster-protocol frames (transport.go)
 }
 
 type hostState struct {
@@ -107,14 +117,15 @@ func New(cfg Config) *Runtime {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
 	r := &Runtime{
-		cfg:      cfg,
-		source:   cfg.Source,
-		netem:    newNetem(1),
-		hosts:    make(map[string]*hostState),
-		defs:     make(map[string]*NodeDef),
-		nodes:    make(map[string]*Node),
-		store:    timeline.NewStore(),
-		outcomes: make(map[string]string),
+		cfg:       cfg,
+		source:    cfg.Source,
+		netem:     newNetem(1),
+		hosts:     make(map[string]*hostState),
+		defs:      make(map[string]*NodeDef),
+		nodes:     make(map[string]*Node),
+		store:     timeline.NewStore(),
+		outcomes:  make(map[string]string),
+		placement: make(map[string]string),
 	}
 	r.cond = sync.NewCond(&r.mu)
 	return r
@@ -200,6 +211,15 @@ func (r *Runtime) StartNode(nickname, host string) (*Node, error) {
 	hs, ok := r.hosts[host]
 	if !ok {
 		r.mu.Unlock()
+		if r.hostIsRemote(host) {
+			// The node belongs to another endpoint: forward the start
+			// (chaos restarts reach here). The start is asynchronous and
+			// yields no local handle.
+			if err := r.forwardChaosToOwner(host, chaosOp{Op: "startnode", Nick: nickname, A: host}); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
 		return nil, fmt.Errorf("core: unknown host %q", host)
 	}
 	if hs.down {
@@ -438,6 +458,13 @@ func (r *Runtime) route(fromHost string, note stateNote, to string) {
 	target, live := r.nodes[to]
 	r.mu.Unlock()
 	if !live {
+		// The node is not executing here — but it may be executing in
+		// another process: placement decides. The socket hop replaces the
+		// injected delay; its latency is real.
+		if host, remote := r.remoteHostFor(to); remote {
+			r.sendRemoteNote(host, note, to)
+			return
+		}
 		// "If there is a notification for a state machine that is
 		// currently not executing, the notification is discarded with a
 		// warning message." (§3.6.1)

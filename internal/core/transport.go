@@ -1,0 +1,404 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/simnet"
+	"repro/internal/spec"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// This file is the runtime's transport glue: when Config.Transport names
+// an endpoint whose topology places some hosts in other processes, the
+// runtime routes state notifications and application-bus messages for
+// those hosts over the transport instead of the in-memory tables, and
+// replicates chaos/netem operations so every endpoint's interposition
+// layer converges. With the default single-process topology (or a nil
+// transport) none of these paths are taken and the in-memory bus behaves
+// exactly as before — the inproc transport *is* the old bus behind the
+// new interface.
+//
+// Fault-hook parity across sockets: application messages are shaped by
+// the SENDER's interposition layer (netem.go) before they reach the wire,
+// exactly where the in-process bus shapes them, so Partition/Drop/Delay/
+// Corrupt verdicts follow one code path on both transports. Chaos
+// mutations are replicated to peer endpoints as KindChaos frames; until a
+// replicated operation arrives (one socket flight, ~100 µs on loopback)
+// the peers' shaping state trails the originator's — a real-network
+// analogue of the partial-view staleness Loki's analysis already treats
+// as fundamental.
+
+func init() {
+	// The default corruption envelope must survive the wire.
+	gob.Register(simnet.Corrupted{})
+}
+
+// SetPlacement records which host each nickname is expected to run on —
+// the node file's placement, used to route frames for nodes that live in
+// another process. The central daemon installs it at experiment start;
+// cluster runners install the full study placement up front.
+func (r *Runtime) SetPlacement(placement map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.placement = make(map[string]string, len(placement))
+	for nick, host := range placement {
+		r.placement[nick] = host
+	}
+	r.remoteNicks, r.remoteNicksOK = nil, false
+}
+
+// AddPlacement merges node-file entries into the placement map.
+func (r *Runtime) AddPlacement(entries []spec.NodeEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range entries {
+		if e.Host != "" {
+			r.placement[e.Nickname] = e.Host
+		}
+	}
+	r.remoteNicks, r.remoteNicksOK = nil, false
+}
+
+// Transport returns the runtime's transport endpoint (nil when the
+// runtime is purely in-memory).
+func (r *Runtime) Transport() transport.Transport { return r.cfg.Transport }
+
+// SetTransportHook installs the receiver for transport frames the runtime
+// itself does not consume (cluster-protocol control and clock-sync
+// frames). The hook runs on the transport's read goroutine.
+func (r *Runtime) SetTransportHook(hook func(m transport.Message)) {
+	r.mu.Lock()
+	r.transportHook = hook
+	r.mu.Unlock()
+}
+
+// remoteHostFor resolves the placement host of a nickname that is not
+// running locally, returning it only when the transport owns it remotely.
+func (r *Runtime) remoteHostFor(nick string) (string, bool) {
+	tr := r.cfg.Transport
+	if tr == nil {
+		return "", false
+	}
+	r.mu.Lock()
+	host, ok := r.placement[nick]
+	r.mu.Unlock()
+	if !ok || tr.Topology().IsLocal(host) {
+		return "", false
+	}
+	return host, true
+}
+
+// remoteNicknames returns the registered nicknames placed on hosts owned
+// by other endpoints, sorted — broadcast order must not depend on map
+// iteration, or same-seed runs would interleave remote deliveries
+// differently. The list is cached (broadcasts sit on the apps' heartbeat
+// paths) and recomputed only when the placement changes.
+func (r *Runtime) remoteNicknames() []string {
+	tr := r.cfg.Transport
+	if tr == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.remoteNicksOK {
+		out := r.remoteNicks
+		r.mu.Unlock()
+		return out
+	}
+	topo := tr.Topology()
+	var out []string
+	for nick, host := range r.placement {
+		if !topo.IsLocal(host) {
+			out = append(out, nick)
+		}
+	}
+	sort.Strings(out)
+	r.remoteNicks, r.remoteNicksOK = out, true
+	r.mu.Unlock()
+	return out
+}
+
+// StartTransport installs the runtime as the configured transport's
+// frame handler and starts it (binding sockets if the transport was not
+// pre-bound). Callers that set Config.Transport must call this once
+// before routing traffic; errors (an occupied port, a bad address) are
+// ordinary operational failures, not panics.
+func (r *Runtime) StartTransport() error {
+	if r.cfg.Transport == nil {
+		return nil
+	}
+	return r.cfg.Transport.Start(r.handleTransportMessage)
+}
+
+// handleTransportMessage dispatches one inbound frame. It runs on the
+// transport's read goroutine.
+func (r *Runtime) handleTransportMessage(m transport.Message) {
+	switch m.Kind {
+	case transport.KindNote:
+		r.mu.Lock()
+		target, live := r.nodes[m.To]
+		r.mu.Unlock()
+		if !live {
+			r.cfg.Logf("core: dropping remote notification %s->%s (%s): target not executing", m.From, m.To, m.State)
+			return
+		}
+		// Deliver on a fresh goroutine, exactly like the in-process
+		// route(): remoteNotify runs the fault parser and possibly a
+		// blocking application InjectFault callback, which must not
+		// stall the transport's read loop (sync pings and every other
+		// inbound frame ride on it).
+		go target.remoteNotify(stateNote{From: m.From, State: m.State})
+	case transport.KindApp:
+		r.mu.Lock()
+		target, live := r.nodes[m.To]
+		r.mu.Unlock()
+		if !live {
+			r.cfg.Logf("core: dropping remote app message %s->%s: target not executing", m.From, m.To)
+			return
+		}
+		payload, err := decodeAppPayload(m.Payload)
+		if err != nil {
+			r.cfg.Logf("core: dropping undecodable app message %s->%s: %v", m.From, m.To, err)
+			return
+		}
+		target.handle.deliver(AppMessage{From: m.From, Payload: payload}, m.From)
+	case transport.KindChaos:
+		op, err := decodeChaosOp(m.Payload)
+		if err != nil {
+			r.cfg.Logf("core: dropping undecodable chaos op: %v", err)
+			return
+		}
+		r.applyChaosOp(op)
+	default:
+		r.mu.Lock()
+		hook := r.transportHook
+		r.mu.Unlock()
+		if hook != nil {
+			hook(m)
+		}
+	}
+}
+
+// sendRemoteNote routes a state notification to the endpoint owning host.
+func (r *Runtime) sendRemoteNote(host string, note stateNote, to string) {
+	m := transport.Message{
+		Kind:   transport.KindNote,
+		From:   note.From,
+		To:     to,
+		ToHost: host,
+		State:  note.State,
+	}
+	if err := r.cfg.Transport.SendHost(host, m); err != nil {
+		r.cfg.Logf("core: remote notification %s->%s: %v", note.From, to, err)
+	}
+}
+
+// sendRemoteApp ships an application-bus message to the endpoint owning
+// toHost. The payload was already shaped by the local interposition layer.
+func (r *Runtime) sendRemoteApp(fromNick, fromHost, to, toHost string, payload interface{}) {
+	body, err := encodeAppPayload(payload)
+	if err != nil {
+		r.cfg.Logf("core: app message %s->%s not encodable for transport: %v", fromNick, to, err)
+		return
+	}
+	m := transport.Message{
+		Kind:     transport.KindApp,
+		From:     fromNick,
+		FromHost: fromHost,
+		To:       to,
+		ToHost:   toHost,
+		Payload:  body,
+	}
+	if err := r.cfg.Transport.SendHost(toHost, m); err != nil {
+		r.cfg.Logf("core: remote app message %s->%s: %v", fromNick, to, err)
+	}
+}
+
+// appPayload is the gob envelope of an application-bus payload. Concrete
+// payload types must be gob-registered by the application (the built-in
+// apps do so in their init functions).
+type appPayload struct{ V interface{} }
+
+func encodeAppPayload(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(appPayload{V: v}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeAppPayload(b []byte) (interface{}, error) {
+	var env appPayload
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.V, nil
+}
+
+// chaosOp is one replicated interposition-layer mutation. Filter-carrying
+// ops describe the built-in filters by value; custom Filter
+// implementations cannot cross the wire and stay endpoint-local (the
+// installer's Logf warns).
+type chaosOp struct {
+	Op string // partition, heal, healall, filter, unfilter, clockstep, crashhost, reboothost, startnode
+	A  string // host / link from
+	B  string // host / link to
+	ID string // filter id
+
+	// Filter description for Op == "filter".
+	FilterKind string // drop, delay, duplicate, corrupt
+	P          float64
+	Extra      int64
+	Jitter     int64
+	Copies     int
+
+	// Clock step for Op == "clockstep".
+	Delta int64
+
+	// Node start for Op == "startnode".
+	Nick string
+}
+
+func encodeChaosOp(op chaosOp) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(op); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeChaosOp(b []byte) (chaosOp, error) {
+	var op chaosOp
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&op)
+	return op, err
+}
+
+// wireFilter maps a built-in simnet filter to its wire description.
+func wireFilter(f simnet.Filter) (kind string, p float64, extra, jitter int64, copies int, ok bool) {
+	switch ft := f.(type) {
+	case simnet.DropFilter:
+		return "drop", ft.P, 0, 0, 0, true
+	case simnet.DelayFilter:
+		return "delay", 0, int64(ft.Extra), int64(ft.Jitter), 0, true
+	case simnet.DuplicateFilter:
+		return "duplicate", ft.P, 0, 0, ft.Copies, true
+	case simnet.CorruptFilter:
+		if ft.Corrupt != nil {
+			return "", 0, 0, 0, 0, false // custom corruptors cannot cross the wire
+		}
+		return "corrupt", ft.P, 0, 0, 0, true
+	}
+	return "", 0, 0, 0, 0, false
+}
+
+// filterFromWire rebuilds a built-in filter from its wire description.
+func filterFromWire(op chaosOp) (simnet.Filter, error) {
+	switch op.FilterKind {
+	case "drop":
+		return simnet.DropFilter{P: op.P}, nil
+	case "delay":
+		return simnet.DelayFilter{Extra: vclock.Ticks(op.Extra), Jitter: vclock.Ticks(op.Jitter)}, nil
+	case "duplicate":
+		return simnet.DuplicateFilter{P: op.P, Copies: op.Copies}, nil
+	case "corrupt":
+		return simnet.CorruptFilter{P: op.P}, nil
+	}
+	return nil, fmt.Errorf("core: unknown wire filter kind %q", op.FilterKind)
+}
+
+// broadcastChaos replicates one interposition mutation to every peer
+// endpoint. A no-op without a transport or without peers.
+func (r *Runtime) broadcastChaos(op chaosOp) {
+	tr := r.cfg.Transport
+	if tr == nil || len(tr.Topology().PeerNames()) == 0 {
+		return
+	}
+	body, err := encodeChaosOp(op)
+	if err != nil {
+		r.cfg.Logf("core: chaos op %q not encodable: %v", op.Op, err)
+		return
+	}
+	if err := tr.Broadcast(transport.Message{Kind: transport.KindChaos, Payload: body}); err != nil {
+		r.cfg.Logf("core: replicating chaos op %q: %v", op.Op, err)
+	}
+}
+
+// forwardChaosToOwner sends one mutation to the endpoint owning host,
+// used for host-targeted operations (clockstep, host crash/reboot, node
+// start) whose target lives in another process.
+func (r *Runtime) forwardChaosToOwner(host string, op chaosOp) error {
+	tr := r.cfg.Transport
+	if tr == nil {
+		return fmt.Errorf("core: unknown host %q", host)
+	}
+	body, err := encodeChaosOp(op)
+	if err != nil {
+		return err
+	}
+	return tr.SendHost(host, transport.Message{Kind: transport.KindChaos, Payload: body, ToHost: host})
+}
+
+// hostIsRemote reports whether host is owned by another endpoint.
+func (r *Runtime) hostIsRemote(host string) bool {
+	tr := r.cfg.Transport
+	return tr != nil && !tr.Topology().IsLocal(host)
+}
+
+// applyChaosOp performs a replicated mutation locally, without
+// re-broadcasting. Host-targeted ops whose host is NOT local here are
+// refused rather than re-forwarded: two endpoints with disagreeing
+// ownership tables must produce a diagnostic, not an unbounded frame
+// loop bouncing the op between them.
+func (r *Runtime) applyChaosOp(op chaosOp) {
+	hostIsHere := func(host string) bool {
+		if r.HostClock(host) != nil {
+			return true
+		}
+		r.cfg.Logf("core: replicated %s op targets host %q, which is not local here (ownership tables disagree?)", op.Op, host)
+		return false
+	}
+	switch op.Op {
+	case "partition":
+		r.partitionHostsLocal(op.A, op.B)
+	case "heal":
+		r.healHostsLocal(op.A, op.B)
+	case "healall":
+		r.healAllLocal()
+	case "filter":
+		f, err := filterFromWire(op)
+		if err != nil {
+			r.cfg.Logf("core: %v", err)
+			return
+		}
+		r.installLinkFilterLocal(simnet.Link{From: op.A, To: op.B}, op.ID, f)
+	case "unfilter":
+		r.removeLinkFilterLocal(simnet.Link{From: op.A, To: op.B}, op.ID)
+	case "clockstep":
+		if hostIsHere(op.A) {
+			r.HostClock(op.A).Step(vclock.Ticks(op.Delta))
+		}
+	case "crashhost":
+		if hostIsHere(op.A) {
+			if err := r.CrashHost(op.A); err != nil {
+				r.cfg.Logf("core: replicated crashhost: %v", err)
+			}
+		}
+	case "reboothost":
+		if hostIsHere(op.A) {
+			if err := r.RebootHost(op.A); err != nil {
+				r.cfg.Logf("core: replicated reboothost: %v", err)
+			}
+		}
+	case "startnode":
+		if hostIsHere(op.A) {
+			if _, err := r.StartNode(op.Nick, op.A); err != nil {
+				r.cfg.Logf("core: replicated startnode %s on %s: %v", op.Nick, op.A, err)
+			}
+		}
+	default:
+		r.cfg.Logf("core: unknown chaos op %q", op.Op)
+	}
+}

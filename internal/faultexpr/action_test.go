@@ -92,6 +92,120 @@ func TestParseActionCallArgs(t *testing.T) {
 	}
 }
 
+// TestParseActionCallEdgeCases pins down the action-call grammar's corner
+// behaviour beyond what the fuzzers assert: exactly which inputs parse,
+// what they parse to, and the error text of the ones that must not.
+func TestParseActionCallEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string   // substring of the expected error; "" = must parse
+		args    []string // expected Args when parsing succeeds
+		raw     string
+		forDur  time.Duration
+	}{
+		// Empty and near-empty argument lists.
+		{name: "empty args", src: "heal()", args: nil, raw: ""},
+		{name: "space-only args", src: "heal(   )", args: nil, raw: ""},
+		{name: "empty args with duration", src: "heal() 10ms", args: nil, raw: "", forDur: 10 * time.Millisecond},
+		{name: "lone comma is two empty args", src: "f(,)", args: []string{"", ""}, raw: ","},
+
+		// Whitespace around '|' and ',' in partition-style group syntax:
+		// the splitter trims around ',', and '|' groups survive verbatim
+		// inside one argument for the action's own grammar.
+		{name: "spaces around commas", src: "partition(h1 | h2 , h3)", args: []string{"h1 | h2", "h3"}, raw: "h1 | h2 , h3"},
+		{name: "tabs around args", src: "drop( h1 ,\th2 , 0.5 )", args: []string{"h1", "h2", "0.5"}, raw: "h1 ,\th2 , 0.5"},
+		{name: "nested parens hold commas", src: "f(g(a,b),c)", args: []string{"g(a,b)", "c"}, raw: "g(a,b),c"},
+		{name: "space before call parens", src: "partition (h1|h2)", args: []string{"h1|h2"}, raw: "h1|h2"},
+
+		// Duration suffix errors after the closing parenthesis.
+		{name: "bare number duration", src: "partition(h1|h2) 50", wantErr: "bad duration"},
+		{name: "unknown unit", src: "partition(h1|h2) 50mss", wantErr: "bad duration"},
+		{name: "negative duration", src: "partition(h1|h2) -50ms", wantErr: "negative duration"},
+		{name: "two durations", src: "partition(h1|h2) 50ms 10ms", wantErr: "bad duration"},
+		{name: "junk after parens", src: "partition(h1|h2) soon", wantErr: "bad duration"},
+		{name: "good duration", src: "partition(h1|h2) 1h2m", args: []string{"h1|h2"}, raw: "h1|h2", forDur: time.Hour + 2*time.Minute},
+
+		// Malformed calls.
+		{name: "no parens", src: "partition", wantErr: "want <name>(<args>)"},
+		{name: "empty name", src: "(h1,h2)", wantErr: "want <name>(<args>)"},
+		{name: "name with space", src: "net split(h1)", wantErr: "invalid name"},
+		{name: "name with slash", src: "a/b(h1)", wantErr: "invalid name"},
+		{name: "unbalanced open", src: "partition(h1|(h2)", wantErr: "unbalanced"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			call, err := ParseActionCall(tc.src)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ParseActionCall(%q) = %+v, want error containing %q", tc.src, call, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseActionCall(%q) error = %q, want substring %q", tc.src, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseActionCall(%q): %v", tc.src, err)
+			}
+			if call.Raw != tc.raw {
+				t.Errorf("Raw = %q, want %q", call.Raw, tc.raw)
+			}
+			if call.For != tc.forDur {
+				t.Errorf("For = %v, want %v", call.For, tc.forDur)
+			}
+			if len(call.Args) != len(tc.args) {
+				t.Fatalf("Args = %q, want %q", call.Args, tc.args)
+			}
+			for i := range tc.args {
+				if call.Args[i] != tc.args[i] {
+					t.Errorf("Args[%d] = %q, want %q", i, call.Args[i], tc.args[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParseSpecLineActionEdgeCases walks the same corners through the
+// full fault specification line grammar, where the action call is the
+// trailing field after '<name> <expr> <mode>'.
+func TestParseSpecLineActionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		wantErr bool
+		action  string // expected Action.String(); "" = no action
+	}{
+		{name: "no action", line: "f (a:B) once", action: ""},
+		{name: "empty-arg action", line: "f (a:B) once heal()", action: "heal()"},
+		{name: "group spaces normalize", line: "f (a:B) once partition(h1 | h2 , h3) 50ms", action: "partition(h1 | h2 , h3) 50ms"},
+		{name: "duration without unit", line: "f (a:B) once partition(h1|h2) 50", wantErr: true},
+		{name: "duration wrong order", line: "f (a:B) once 50ms partition(h1|h2)", wantErr: true},
+		{name: "unbalanced action parens", line: "f (a:B) once partition((h1|h2)", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, ok, err := ParseSpecLine(tc.line)
+			if tc.wantErr {
+				if err == nil && ok {
+					t.Fatalf("ParseSpecLine(%q) = %+v, want error", tc.line, s)
+				}
+				return
+			}
+			if err != nil || !ok {
+				t.Fatalf("ParseSpecLine(%q): ok=%v err=%v", tc.line, ok, err)
+			}
+			got := ""
+			if s.Action != nil {
+				got = s.Action.String()
+			}
+			if got != tc.action {
+				t.Errorf("action = %q, want %q", got, tc.action)
+			}
+		})
+	}
+}
+
 func TestSplitTopLevel(t *testing.T) {
 	got := SplitTopLevel("a,(b,c),d", ',')
 	if len(got) != 3 || got[0] != "a" || got[1] != "(b,c)" || got[2] != "d" {

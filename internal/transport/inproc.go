@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// InprocNet connects in-process endpoints: the refactored form of the old
+// application bus. Frames are delivered by direct function call on the
+// sender's goroutine — no serialization, no copy — which is why inproc
+// stays the fast default for single-process studies.
+type InprocNet struct {
+	mu        sync.Mutex
+	endpoints map[string]*Inproc
+}
+
+// NewInprocNet creates an empty in-process network.
+func NewInprocNet() *InprocNet {
+	return &InprocNet{endpoints: make(map[string]*Inproc)}
+}
+
+// Endpoint creates the endpoint for topo.Local and joins it to the
+// network. Duplicate peer names are a configuration bug and panic.
+func (n *InprocNet) Endpoint(topo Topology) (*Inproc, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[topo.Local]; dup {
+		return nil, fmt.Errorf("transport: duplicate inproc endpoint %q", topo.Local)
+	}
+	ep := &Inproc{net: n, topo: topo}
+	n.endpoints[topo.Local] = ep
+	return ep, nil
+}
+
+// SingleProcess returns a standalone inproc endpoint owning every listed
+// host — the degenerate one-endpoint topology where the transport is never
+// crossed and core's direct in-memory paths carry all traffic.
+func SingleProcess(hosts []string) *Inproc {
+	topo := Topology{Local: "local", Peers: map[string]string{"local": ""}, Hosts: map[string]string{}}
+	for _, h := range hosts {
+		topo.Hosts[h] = "local"
+	}
+	ep, _ := NewInprocNet().Endpoint(topo)
+	return ep
+}
+
+// Inproc is one in-process endpoint.
+type Inproc struct {
+	net    *InprocNet
+	topo   Topology
+	epoch  atomic.Uint64
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	handler Handler
+}
+
+// Name implements Transport.
+func (t *Inproc) Name() string { return "inproc" }
+
+// Topology implements Transport.
+func (t *Inproc) Topology() Topology { return t.topo }
+
+// SetEpoch implements Transport.
+func (t *Inproc) SetEpoch(e uint64) { t.epoch.Store(e) }
+
+// Start implements Transport.
+func (t *Inproc) Start(h Handler) error {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+	return nil
+}
+
+// Close implements Transport.
+func (t *Inproc) Close() error {
+	t.closed.Store(true)
+	t.net.mu.Lock()
+	delete(t.net.endpoints, t.topo.Local)
+	t.net.mu.Unlock()
+	return nil
+}
+
+// SendHost implements Transport.
+func (t *Inproc) SendHost(host string, m Message) error {
+	peer := t.topo.Owner(host)
+	if peer == "" {
+		return fmt.Errorf("transport: no owner for host %q", host)
+	}
+	return t.SendPeer(peer, m)
+}
+
+// SendPeer implements Transport.
+func (t *Inproc) SendPeer(peer string, m Message) error {
+	if t.closed.Load() {
+		return fmt.Errorf("transport: inproc endpoint %q is closed", t.topo.Local)
+	}
+	t.net.mu.Lock()
+	dst := t.net.endpoints[peer]
+	t.net.mu.Unlock()
+	if dst == nil {
+		return fmt.Errorf("transport: unknown inproc peer %q", peer)
+	}
+	m.Epoch = t.epoch.Load()
+	dst.receive(m)
+	return nil
+}
+
+// Broadcast implements Transport.
+func (t *Inproc) Broadcast(m Message) error {
+	var first error
+	for _, p := range t.topo.PeerNames() {
+		if err := t.SendPeer(p, m); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// receive applies the epoch filter and dispatches to the handler.
+func (t *Inproc) receive(m Message) {
+	if t.closed.Load() {
+		return
+	}
+	if m.Kind != KindCtrl && m.Epoch != t.epoch.Load() {
+		return
+	}
+	t.mu.Lock()
+	h := t.handler
+	t.mu.Unlock()
+	if h != nil {
+		h(m)
+	}
+}

@@ -1,0 +1,312 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCP is the stream transport: a listener per endpoint plus one
+// lazily-dialed outgoing connection per peer, length-prefixed frames, and
+// reconnect-on-error. A failed write tears the connection down and retries
+// once over a fresh dial; if that fails too the frame is reported lost —
+// the same datagram semantics the rest of the system assumes, with the
+// stream only an ordering/batching optimization underneath.
+type TCP struct {
+	topo   Topology
+	epoch  atomic.Uint64
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	listener *net.TCPListener
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]bool
+	handler  Handler
+	wg       sync.WaitGroup
+
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+}
+
+type tcpConn struct {
+	mu   sync.Mutex // serializes frame writes
+	conn net.Conn
+}
+
+// NewTCP creates an endpoint for topo.Local, listening on its peer-table
+// address (which may name port 0; see Addr).
+func NewTCP(topo Topology) (*TCP, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &TCP{
+		topo:        topo,
+		conns:       make(map[string]*tcpConn),
+		accepted:    make(map[net.Conn]bool),
+		DialTimeout: 2 * time.Second,
+	}, nil
+}
+
+// Name implements Transport.
+func (t *TCP) Name() string { return "tcp" }
+
+// Topology implements Transport.
+func (t *TCP) Topology() Topology { return t.topo }
+
+// SetEpoch implements Transport.
+func (t *TCP) SetEpoch(e uint64) { t.epoch.Store(e) }
+
+// Start implements Transport: bind the listener (if bind was not already
+// called) and install the inbound handler.
+func (t *TCP) Start(h Handler) error {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+	return t.bind()
+}
+
+// bind listens without installing a handler — frames arriving before
+// Start are dropped. The loopback cluster builder binds every endpoint
+// first so ephemeral ports can be wired into the peer tables.
+func (t *TCP) bind() error {
+	t.mu.Lock()
+	if t.listener != nil {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	laddr, err := net.ResolveTCPAddr("tcp", t.topo.Peers[t.topo.Local])
+	if err != nil {
+		return fmt.Errorf("transport: tcp listen address: %w", err)
+	}
+	ln, err := net.ListenTCP("tcp", laddr)
+	if err != nil {
+		return fmt.Errorf("transport: tcp listen: %w", err)
+	}
+	t.mu.Lock()
+	t.listener = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (t *TCP) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.listener == nil {
+		return ""
+	}
+	return t.listener.Addr().String()
+}
+
+// SetPeerAddr updates the address of one peer (ephemeral-port wiring).
+func (t *TCP) SetPeerAddr(peer, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.topo.Peers[peer] = addr
+	delete(t.conns, peer)
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.mu.Lock()
+	ln := t.listener
+	conns := t.conns
+	t.conns = make(map[string]*tcpConn)
+	accepted := t.accepted
+	t.accepted = make(map[net.Conn]bool)
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.mu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
+	}
+	for conn := range accepted {
+		conn.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// SendHost implements Transport.
+func (t *TCP) SendHost(host string, m Message) error {
+	peer := t.topo.Owner(host)
+	if peer == "" {
+		return fmt.Errorf("transport: no owner for host %q", host)
+	}
+	return t.SendPeer(peer, m)
+}
+
+// SendPeer implements Transport.
+func (t *TCP) SendPeer(peer string, m Message) error {
+	if t.closed.Load() {
+		return fmt.Errorf("transport: tcp endpoint %q is closed", t.topo.Local)
+	}
+	m.Epoch = t.epoch.Load()
+	body, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	c, err := t.peerConn(peer)
+	if err == nil {
+		if err = c.write(body); err == nil {
+			return nil
+		}
+	}
+	// Reconnect path: evict the connection that failed — and only that
+	// one, so a concurrent sender's fresh redial is not torn down — and
+	// retry over a new dial once.
+	t.dropConn(peer, c)
+	c, err = t.peerConn(peer)
+	if err != nil {
+		return err
+	}
+	if err = c.write(body); err != nil {
+		t.dropConn(peer, c)
+		return err
+	}
+	return nil
+}
+
+// write sends one frame over the connection, serialized per peer.
+func (c *tcpConn) write(body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return fmt.Errorf("transport: connection was torn down")
+	}
+	return WriteFrame(c.conn, body)
+}
+
+// Broadcast implements Transport.
+func (t *TCP) Broadcast(m Message) error {
+	var first error
+	for _, p := range t.topo.PeerNames() {
+		if err := t.SendPeer(p, m); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// peerConn returns the cached connection to peer, dialing a new one under
+// the per-peer slot if needed.
+func (t *TCP) peerConn(peer string) (*tcpConn, error) {
+	t.mu.Lock()
+	// Re-check closed under the lock: Close may have swapped the conns
+	// map after SendPeer's entry check, and a dial inserted now would
+	// never be closed by anyone.
+	if t.closed.Load() {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: tcp endpoint %q is closed", t.topo.Local)
+	}
+	c := t.conns[peer]
+	if c == nil {
+		addr, ok := t.topo.Peers[peer]
+		if !ok {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("transport: unknown tcp peer %q", peer)
+		}
+		c = &tcpConn{}
+		c.mu.Lock() // hold the slot while dialing outside t.mu
+		t.conns[peer] = c
+		t.mu.Unlock()
+		conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+		if err != nil {
+			c.mu.Unlock()
+			t.dropConn(peer, c)
+			return nil, fmt.Errorf("transport: dialing peer %q: %w", peer, err)
+		}
+		c.conn = conn
+		c.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	return c, nil
+}
+
+// dropConn closes and forgets the cached connection to peer — but only
+// if it is still the connection the caller saw fail; a concurrent
+// sender's fresh redial must not be torn down by a stale eviction.
+func (t *TCP) dropConn(peer string, failed *tcpConn) {
+	if failed == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.conns[peer] != failed {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.conns, peer)
+	t.mu.Unlock()
+	failed.mu.Lock()
+	if failed.conn != nil {
+		failed.conn.Close()
+		failed.conn = nil
+	}
+	failed.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop(ln *net.TCPListener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		t.mu.Lock()
+		if t.closed.Load() {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		body, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		m, err := Unmarshal(body)
+		if err != nil {
+			return // framing is broken; drop the connection
+		}
+		if t.closed.Load() {
+			return
+		}
+		if m.Kind != KindCtrl && m.Epoch != t.epoch.Load() {
+			continue
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(m)
+		}
+	}
+}

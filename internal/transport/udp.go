@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// UDP is the datagram transport: one socket per endpoint, one frame per
+// datagram, no connection state. Loss and reordering are the network's —
+// exactly the conditions the application bus already promises its users
+// ("datagram semantics: the distributed system under study must tolerate
+// loss").
+type UDP struct {
+	topo   Topology
+	epoch  atomic.Uint64
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	conn    *net.UDPConn
+	addrs   map[string]*net.UDPAddr
+	handler Handler
+	wg      sync.WaitGroup
+}
+
+// NewUDP creates an endpoint for topo.Local, listening on its peer-table
+// address (which may name port 0; see Addr).
+func NewUDP(topo Topology) (*UDP, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &UDP{topo: topo, addrs: make(map[string]*net.UDPAddr)}, nil
+}
+
+// Name implements Transport.
+func (t *UDP) Name() string { return "udp" }
+
+// Topology implements Transport.
+func (t *UDP) Topology() Topology { return t.topo }
+
+// SetEpoch implements Transport.
+func (t *UDP) SetEpoch(e uint64) { t.epoch.Store(e) }
+
+// Start implements Transport: bind the socket (if bind was not already
+// called) and install the inbound handler.
+func (t *UDP) Start(h Handler) error {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+	return t.bind()
+}
+
+// bind listens without installing a handler — frames arriving before
+// Start are dropped. The loopback cluster builder binds every endpoint
+// first so ephemeral ports can be wired into the peer tables.
+func (t *UDP) bind() error {
+	t.mu.Lock()
+	if t.conn != nil {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	laddr, err := net.ResolveUDPAddr("udp", t.topo.Peers[t.topo.Local])
+	if err != nil {
+		return fmt.Errorf("transport: udp listen address: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return fmt.Errorf("transport: udp listen: %w", err)
+	}
+	t.mu.Lock()
+	t.conn = conn
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.readLoop(conn)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start) — how an
+// endpoint that listened on port 0 learns its real port.
+func (t *UDP) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return ""
+	}
+	return t.conn.LocalAddr().String()
+}
+
+// SetPeerAddr updates the address of one peer — used to wire ephemeral
+// ports after every endpoint of a loopback cluster has bound.
+func (t *UDP) SetPeerAddr(peer, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.topo.Peers[peer] = addr
+	delete(t.addrs, peer) // re-resolve on next send
+}
+
+// Close implements Transport.
+func (t *UDP) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.mu.Lock()
+	conn := t.conn
+	t.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// SendHost implements Transport.
+func (t *UDP) SendHost(host string, m Message) error {
+	peer := t.topo.Owner(host)
+	if peer == "" {
+		return fmt.Errorf("transport: no owner for host %q", host)
+	}
+	return t.SendPeer(peer, m)
+}
+
+// SendPeer implements Transport.
+func (t *UDP) SendPeer(peer string, m Message) error {
+	if t.closed.Load() {
+		return fmt.Errorf("transport: udp endpoint %q is closed", t.topo.Local)
+	}
+	t.mu.Lock()
+	conn := t.conn
+	addr := t.addrs[peer]
+	if addr == nil {
+		raw, ok := t.topo.Peers[peer]
+		if !ok {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: unknown udp peer %q", peer)
+		}
+		var err error
+		if addr, err = net.ResolveUDPAddr("udp", raw); err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: resolving peer %q: %w", peer, err)
+		}
+		t.addrs[peer] = addr
+	}
+	t.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("transport: udp endpoint %q not started", t.topo.Local)
+	}
+	m.Epoch = t.epoch.Load()
+	body, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = conn.WriteToUDP(body, addr)
+	return err
+}
+
+// Broadcast implements Transport.
+func (t *UDP) Broadcast(m Message) error {
+	var first error
+	for _, p := range t.topo.PeerNames() {
+		if err := t.SendPeer(p, m); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t *UDP) readLoop(conn *net.UDPConn) {
+	defer t.wg.Done()
+	buf := make([]byte, MaxFrame+1)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		m, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // a damaged datagram is a lost datagram
+		}
+		if m.Kind != KindCtrl && m.Epoch != t.epoch.Load() {
+			continue
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(m)
+		}
+	}
+}

@@ -27,6 +27,10 @@ type (
 	// ExperimentRecord is one experiment's full record (runtime outcomes,
 	// clock bounds, global timeline, analysis verdict).
 	ExperimentRecord = campaign.ExperimentRecord
+	// Checkpoint configures per-experiment record journaling under an
+	// artifact directory and — with Resume — restart at the first missing
+	// point/experiment instead of rerunning a killed campaign.
+	Checkpoint = campaign.Checkpoint
 )
 
 // RunCampaign executes every experiment of every study: runtime phase with

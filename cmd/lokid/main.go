@@ -29,6 +29,11 @@
 // member protocol is interrupted, socket listeners close, and node
 // goroutines are killed before exit.
 //
+// In both modes the experiment's record (streamed peer timelines and sync
+// stamps included) is journaled to OUT/checkpoint.jsonl when it completes;
+// re-invoking with -resume rewrites the artifacts from the journal instead
+// of rerunning — the crash-recovery path for a killed coordinator.
+//
 // Continue the pipeline with:
 //
 //	alphabeta  -stamps DIR/timestamps.txt -out DIR/alphabeta.txt
@@ -64,6 +69,7 @@ func main() {
 		dormancy   = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy")
 		seed       = flag.Int64("seed", 1, "random seed")
 		outDir     = flag.String("out", "", "output directory (required for single-process and coordinator)")
+		resume     = flag.Bool("resume", false, "resume from OUT/checkpoint.jsonl: a journaled experiment is not rerun, its artifacts are rewritten from the journal")
 
 		transportKind = flag.String("transport", "", "socket transport for multi-process mode: udp or tcp")
 		name          = flag.String("name", "", "this process's peer name (multi-process mode)")
@@ -115,6 +121,18 @@ func main() {
 		Hosts:   cli.HostsFor(nodes, *seed),
 		Studies: []*loki.Study{study},
 		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
+	}
+	if *outDir != "" {
+		// The coordinator journals each experiment's record — streamed
+		// peer timelines included — as it completes, so a crashed run
+		// re-invoked with -resume rewrites its artifacts from the journal
+		// instead of rerunning the cluster. (Members without -out carry no
+		// journal; -resume is the coordinator's concern.)
+		ckpt, err := cli.CheckpointFor(*outDir, *resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Checkpoint = ckpt
 	}
 
 	var (

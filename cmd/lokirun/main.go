@@ -10,7 +10,12 @@
 //	lokirun -nodes nodes.txt [-faults faults.txt] [-app election|replica]
 //	        [-scenarios chaos.txt -scenario NAME]
 //	        [-experiments N] [-runfor 150ms] [-dormancy 10ms] [-restart]
-//	        [-seed 1] [-workers N] [-out DIR]
+//	        [-seed 1] [-workers N] [-out DIR] [-resume]
+//
+// With -out, every completed experiment's record is journaled to
+// DIR/checkpoint.jsonl as it finishes; rerunning with -resume skips the
+// journaled experiments and executes only the missing ones, so a killed
+// long campaign restarts where it stopped instead of from experiment zero.
 //
 // The node file is the §3.5.1 format ("<nick> [<host>]"); the fault file
 // holds "<machine> <name> <expr> <once|always> [action(args) [for]]"
@@ -52,12 +57,17 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
 		workers      = flag.Int("workers", 0, "concurrent experiment executors (0 = GOMAXPROCS)")
 		transportK   = flag.String("transport", "", "study transport: inproc (default), udp, or tcp (socket studies run one runtime per host over loopback, experiments sequential)")
-		outDir       = flag.String("out", "", "artifact directory (default: none written)")
+		outDir       = flag.String("out", "", "artifact directory (default: none written); completed experiments are journaled to DIR/checkpoint.jsonl as they finish")
+		resume       = flag.Bool("resume", false, "resume from DIR/checkpoint.jsonl: skip journaled experiments, run only the missing ones (requires -out)")
 	)
 	flag.Parse()
 	if *nodesPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	checkpoint, err := cli.CheckpointFor(*outDir, *resume)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	nodesDoc, err := cli.ReadFile(*nodesPath, "node file")
@@ -121,6 +131,7 @@ func main() {
 		Workers: *workers,
 		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
 	}
+	c.Checkpoint = checkpoint
 	out, err := loki.RunCampaign(c)
 	if err != nil {
 		log.Fatal(err)

@@ -81,6 +81,11 @@ type Campaign struct {
 	Sync SyncConfig
 	// Check configures the analysis-phase strictness.
 	Check analysis.CheckOptions
+	// Checkpoint, when non-nil, journals every completed experiment
+	// record to Checkpoint.Dir and — with Checkpoint.Resume — skips the
+	// journaled records on restart, resuming at the first missing
+	// point/experiment (checkpoint.go).
+	Checkpoint *Checkpoint
 }
 
 // ExperimentRecord is everything one experiment produced.
@@ -173,9 +178,24 @@ func Run(c *Campaign) (*Result, error) {
 	if len(c.Studies) == 0 {
 		return nil, fmt.Errorf("campaign: no studies defined")
 	}
+	// Duplicate study names would shadow each other in Result.Study and
+	// collide in the checkpoint journal's record keys: fail at start,
+	// before any experiment runs.
+	names := make(map[string]bool, len(c.Studies))
+	for _, st := range c.Studies {
+		if names[st.Name] {
+			return nil, fmt.Errorf("campaign: duplicate study name %q", st.Name)
+		}
+		names[st.Name] = true
+	}
+	j, err := openCampaignJournal(c)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
 	res := &Result{Name: c.Name}
 	for _, st := range c.Studies {
-		sr, err := runStudyOn(c, st)
+		sr, err := runStudyOn(c, st, j.study(c, st, st.Name))
 		if err != nil {
 			return nil, fmt.Errorf("campaign: study %q: %w", st.Name, err)
 		}
@@ -190,11 +210,11 @@ func Run(c *Campaign) (*Result, error) {
 // message over a real loopback socket, experiments in sequence
 // (Workers=1 per process). RunMatrix routes its points through here too,
 // so a requested transport is never silently downgraded.
-func runStudyOn(c *Campaign, st *Study) (*StudyResult, error) {
+func runStudyOn(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
 	if st.Transport != "" && st.Transport != "inproc" {
-		return RunClustered(c, st, st.Transport)
+		return runClustered(c, st, st.Transport, sj)
 	}
-	return runStudy(c, st)
+	return runStudy(c, st, sj)
 }
 
 // RunSingle executes exactly one experiment of the campaign's first study
@@ -202,11 +222,46 @@ func runStudyOn(c *Campaign, st *Study) (*StudyResult, error) {
 // synchronization messages of both mini-phases and the local timelines.
 // The file-oriented tools (cmd/lokid) use this to emit the §3.5.6 and
 // timestamp files that the rest of the pipeline consumes.
+//
+// A study with a socket Transport runs through the clustered loopback
+// engine — the transport is never silently downgraded to inproc, matching
+// runStudyOn. With a Checkpoint configured, a completed experiment in the
+// journal is returned (artifacts included) without rerunning.
 func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
 	if len(c.Hosts) == 0 || len(c.Studies) == 0 {
 		return nil, nil, nil, fmt.Errorf("campaign: need hosts and a study")
 	}
 	st := c.Studies[0]
+	j, err := openCampaignJournal(c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer j.Close()
+	sj := j.study(c, st, st.Name)
+	if rec, locals, stamps, err := sj.lookupRaw(0); err != nil {
+		return nil, nil, nil, err
+	} else if rec != nil {
+		return rec, stamps, locals, nil
+	}
+
+	if st.Transport != "" && st.Transport != "inproc" {
+		var (
+			rec    *ExperimentRecord
+			stamps []clocksync.StampedMessage
+			locals []*timeline.Local
+		)
+		err := withLoopbackCluster(c, st, st.Transport, func(coordinator *Member) error {
+			coordinator.sj = sj
+			var err error
+			rec, stamps, locals, err = coordinator.RunOne()
+			return err
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return rec, stamps, locals, nil
+	}
+
 	timeout := st.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
@@ -223,6 +278,9 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 	}
 	rec, err := analyzeExperiment(c, st, raw)
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := sj.recordRaw(rec, raw.locals, raw.allStamps()); err != nil {
 		return nil, nil, nil, err
 	}
 	return rec, raw.allStamps(), raw.locals, nil
@@ -293,7 +351,11 @@ func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon
 // the runtime phase of experiment k+1 — even with a single runtime worker.
 // Records land at their experiment index regardless of completion order,
 // so parallel and sequential runs order results identically.
-func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
+//
+// With a journal, experiments already journaled are loaded instead of
+// re-executed, and each freshly analyzed record is appended as it
+// completes — a killed study resumes at the first missing index.
+func runStudy(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
 	experiments := st.Experiments
 	if experiments <= 0 {
 		experiments = 1
@@ -302,15 +364,33 @@ func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+
+	records := make([]*ExperimentRecord, experiments)
+	var missing []int
+	for i := 0; i < experiments; i++ {
+		rec, err := sj.lookup(i)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			records[i] = rec
+			continue
+		}
+		missing = append(missing, i)
+	}
+	if len(missing) == 0 {
+		// Fully journaled: no worker runtimes to build at all, which is
+		// what makes resuming a finished multi-hour study instantaneous.
+		return &StudyResult{Name: st.Name, Records: records}, nil
+	}
+
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > experiments {
-		workers = experiments
+	if workers > len(missing) {
+		workers = len(missing)
 	}
-
-	records := make([]*ExperimentRecord, experiments)
 	var (
 		errOnce  sync.Once
 		firstErr error
@@ -334,7 +414,7 @@ func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
 	idxCh := make(chan int)
 	go func() {
 		defer close(idxCh)
-		for i := 0; i < experiments; i++ {
+		for _, i := range missing {
 			select {
 			case idxCh <- i:
 			case <-done:
@@ -389,6 +469,9 @@ func runStudy(c *Campaign, st *Study) (*StudyResult, error) {
 					continue
 				}
 				records[raw.index] = rec
+				if err := sj.record(rec); err != nil {
+					fail(err)
+				}
 			}
 		}()
 	}

@@ -1,0 +1,478 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/clocksync"
+	"repro/internal/timeline"
+)
+
+// Campaign checkpointing (ROADMAP "campaign checkpointing/resume"): the
+// paper's studies run tens of thousands of experiments (§2.3/§2.6), so an
+// interrupted multi-hour matrix must not rerun from point zero. As each
+// experiment's analysis completes, its full record — outcomes, clock
+// bounds, clock-step verdict, encoded global timeline, and (for the
+// single-experiment tools) encoded local timelines and sync stamps — is
+// appended to a JSONL journal under the artifact directory, keyed by
+// {study-or-point name, experiment index}. Every record is followed by an
+// fsync'd completion marker, so a record is trusted on resume only when
+// both lines survived the crash; a torn tail is truncated, not trusted.
+//
+// On resume the journal is reloaded, the campaign-level fingerprint in the
+// header is verified, and each skipped record's study-level fingerprint
+// (campaign hash + point name + seed + fault specs) is checked before the
+// engines skip it — resuming against a changed configuration is an error,
+// never a silent mix of two campaigns' records.
+
+// Checkpoint configures campaign journaling and resume. It applies to
+// Run, RunMatrix, RunSingle, and the clustered Member engines.
+type Checkpoint struct {
+	// Dir is the artifact directory; the journal lives at
+	// Dir/checkpoint.jsonl. Required.
+	Dir string
+	// Resume loads an existing journal and skips every complete record,
+	// re-executing only the missing points/experiments. Without Resume an
+	// existing journal is truncated and the campaign journals from
+	// scratch.
+	Resume bool
+}
+
+const (
+	journalName    = "checkpoint.jsonl"
+	journalVersion = 1
+)
+
+// journalLine is one line of the JSONL journal: exactly one of the three
+// fields is set. Header first, then (record, done) pairs.
+type journalLine struct {
+	Journal *journalHeader `json:"journal,omitempty"`
+	Record  *journalRecord `json:"record,omitempty"`
+	Done    *journalKey    `json:"done,omitempty"`
+}
+
+type journalHeader struct {
+	Version     int
+	Campaign    string
+	Fingerprint string
+}
+
+// journalKey addresses one experiment: the study name (or matrix point
+// name) plus the experiment index within it.
+type journalKey struct {
+	Point string
+	Index int
+}
+
+type journalRecord struct {
+	Point       string
+	Index       int
+	Fingerprint string
+	Experiment  recordWire
+}
+
+// recordWire is the serialized form of one ExperimentRecord. The global
+// timeline rides as its §5.7 text encoding and local timelines as their
+// §3.5.6 text encoding, so the journal shares formats with the rest of
+// the artifact pipeline. json.Marshal sorts map keys, so identical
+// records serialize to identical bytes.
+type recordWire struct {
+	Study              string
+	Index              int
+	Completed          bool
+	Accepted           bool
+	Outcomes           map[string]string           `json:",omitempty"`
+	Bounds             map[string]clocksync.Bounds `json:",omitempty"`
+	Global             string                      `json:",omitempty"`
+	Report             *analysis.Report            `json:",omitempty"`
+	AnalysisError      string                      `json:",omitempty"`
+	ClockStepSuspected bool                        `json:",omitempty"`
+	ClockStepHosts     []string                    `json:",omitempty"`
+	// Locals and Stamps carry the raw runtime artifacts for the
+	// single-experiment tools (cmd/lokid), so a resumed coordinator can
+	// rewrite its artifact files without rerunning the cluster.
+	Locals []string                   `json:",omitempty"`
+	Stamps []clocksync.StampedMessage `json:",omitempty"`
+}
+
+// encodeRecordWire serializes a record (locals and stamps optional).
+func encodeRecordWire(rec *ExperimentRecord, locals []*timeline.Local, stamps []clocksync.StampedMessage) (recordWire, error) {
+	w := recordWire{
+		Study:              rec.Study,
+		Index:              rec.Index,
+		Completed:          rec.Completed,
+		Accepted:           rec.Accepted,
+		Outcomes:           rec.Outcomes,
+		Bounds:             rec.Bounds,
+		Report:             rec.Report,
+		AnalysisError:      rec.AnalysisError,
+		ClockStepSuspected: rec.ClockStepSuspected,
+		ClockStepHosts:     rec.ClockStepHosts,
+		Stamps:             stamps,
+	}
+	if rec.Global != nil {
+		doc, err := analysis.EncodeString(rec.Global)
+		if err != nil {
+			return recordWire{}, fmt.Errorf("campaign: checkpoint: encoding global timeline: %w", err)
+		}
+		w.Global = doc
+	}
+	for _, tl := range locals {
+		doc, err := timeline.EncodeString(tl)
+		if err != nil {
+			return recordWire{}, fmt.Errorf("campaign: checkpoint: encoding local timeline %q: %w", tl.Owner, err)
+		}
+		w.Locals = append(w.Locals, doc)
+	}
+	return w, nil
+}
+
+// decodeRecordWire reverses encodeRecordWire.
+func decodeRecordWire(w *recordWire) (*ExperimentRecord, []*timeline.Local, []clocksync.StampedMessage, error) {
+	rec := &ExperimentRecord{
+		Study:              w.Study,
+		Index:              w.Index,
+		Completed:          w.Completed,
+		Accepted:           w.Accepted,
+		Outcomes:           w.Outcomes,
+		Bounds:             w.Bounds,
+		Report:             w.Report,
+		AnalysisError:      w.AnalysisError,
+		ClockStepSuspected: w.ClockStepSuspected,
+		ClockStepHosts:     w.ClockStepHosts,
+	}
+	if w.Global != "" {
+		g, err := analysis.DecodeString(w.Global)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("campaign: checkpoint: decoding global timeline: %w", err)
+		}
+		rec.Global = g
+	}
+	var locals []*timeline.Local
+	for i, doc := range w.Locals {
+		tl, err := timeline.DecodeString(doc)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("campaign: checkpoint: decoding local timeline %d: %w", i, err)
+		}
+		locals = append(locals, tl)
+	}
+	return rec, locals, w.Stamps, nil
+}
+
+// journal is an open checkpoint journal: the append file plus the loaded
+// map of complete records. Safe for concurrent use by the worker pools.
+type journal struct {
+	mu           sync.Mutex
+	f            *os.File
+	entries      map[journalKey]journalRecord
+	headerLoaded bool
+}
+
+// openCampaignJournal opens (or resumes) the campaign's journal; a nil
+// Checkpoint yields a nil journal, on which every method is a no-op.
+func openCampaignJournal(c *Campaign) (*journal, error) {
+	cp := c.Checkpoint
+	if cp == nil {
+		return nil, nil
+	}
+	if cp.Dir == "" {
+		return nil, fmt.Errorf("campaign: checkpoint: Dir is required")
+	}
+	if err := os.MkdirAll(cp.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	path := filepath.Join(cp.Dir, journalName)
+	fp := campaignFingerprint(c)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	j := &journal{f: f, entries: make(map[journalKey]journalRecord)}
+	if cp.Resume {
+		if err := j.load(fp); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if len(j.entries) > 0 || j.headerLoaded {
+			return j, nil
+		}
+		// Resuming an absent or empty journal is a fresh start, not an
+		// error: the first interrupted run needs -resume semantics too.
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := j.writeLine(journalLine{Journal: &journalHeader{
+		Version: journalVersion, Campaign: c.Name, Fingerprint: fp,
+	}}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load replays the journal: header verification, then (record, done)
+// pairs. A record without its fsync'd done marker — or any torn/garbled
+// tail — is discarded by truncating the file to the last good offset, so
+// a crash mid-append costs exactly one experiment.
+func (j *journal) load(fingerprint string) error {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	var (
+		r       = bufio.NewReaderSize(j.f, 1<<20)
+		offset  int64 // end of the last trusted line
+		pending = make(map[journalKey]journalRecord)
+	)
+scan:
+	for {
+		raw, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			break // no trailing newline: torn tail, drop it
+		}
+		if err != nil {
+			return fmt.Errorf("campaign: checkpoint: reading journal: %w", err)
+		}
+		var line journalLine
+		if json.Unmarshal(raw, &line) != nil {
+			break // garbled line: trust nothing at or past it
+		}
+		if !j.headerLoaded {
+			if line.Journal == nil {
+				// First line is valid JSON but not a header: a foreign
+				// file. Refuse to mix records into it.
+				return fmt.Errorf("campaign: checkpoint: %s is not a checkpoint journal", j.f.Name())
+			}
+			if line.Journal.Version != journalVersion {
+				return fmt.Errorf("campaign: checkpoint: journal version %d, this build writes %d",
+					line.Journal.Version, journalVersion)
+			}
+			if line.Journal.Fingerprint != fingerprint {
+				return fmt.Errorf("campaign: checkpoint: journal was written by campaign %q (fingerprint %s), current configuration is %s; delete %s or fix the configuration",
+					line.Journal.Campaign, line.Journal.Fingerprint, fingerprint, j.f.Name())
+			}
+			j.headerLoaded = true
+			offset += int64(len(raw))
+			continue
+		}
+		switch {
+		case line.Record != nil:
+			pending[journalKey{line.Record.Point, line.Record.Index}] = *line.Record
+		case line.Done != nil:
+			key := *line.Done
+			if rec, ok := pending[key]; ok {
+				j.entries[key] = rec
+				delete(pending, key)
+			}
+		default:
+			break scan // duplicate header or empty object: garbled tail
+		}
+		offset += int64(len(raw))
+	}
+	if err := j.f.Truncate(offset); err != nil {
+		return fmt.Errorf("campaign: checkpoint: truncating torn journal tail: %w", err)
+	}
+	if _, err := j.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// writeLine appends one JSONL line and fsyncs it. The caller serializes
+// (open is single-threaded; append holds mu).
+func (j *journal) writeLine(line journalLine) error {
+	b, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// append journals one completed record: the record line is fsync'd before
+// the completion marker is written, so a marker on disk proves its record
+// is whole. Nil-receiver safe (checkpointing disabled).
+func (j *journal) append(point string, index int, fingerprint string, wire recordWire) error {
+	if j == nil {
+		return nil
+	}
+	rec := journalRecord{Point: point, Index: index, Fingerprint: fingerprint, Experiment: wire}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.writeLine(journalLine{Record: &rec}); err != nil {
+		return err
+	}
+	// Appended records are deliberately not retained in j.entries: every
+	// engine looks a key up before running it and never afterwards, and a
+	// paper-scale campaign (tens of thousands of experiments, multi-KB
+	// encoded timelines each) must not accumulate its entire serialized
+	// output in memory. If a key ever were looked up after its append,
+	// the miss costs one redundant re-run — the rerun's record is
+	// journaled again and the later copy wins on the next resume.
+	return j.writeLine(journalLine{Done: &journalKey{point, index}})
+}
+
+// lookup returns the journaled record for (point, index), or nil when the
+// journal has no complete record for it. A record written under a
+// different study fingerprint is a configuration mismatch, not a cache
+// miss. Nil-receiver safe.
+func (j *journal) lookup(point string, index int, fingerprint string) (*recordWire, error) {
+	if j == nil {
+		return nil, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.entries[journalKey{point, index}]
+	if !ok {
+		return nil, nil
+	}
+	if rec.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("campaign: checkpoint: journaled record %s/%d was written by a different study configuration (fingerprint %s, want %s); delete the journal or restore the configuration",
+			point, index, rec.Fingerprint, fingerprint)
+	}
+	// A key is consumed at most once per run (every engine looks an index
+	// up before running it, never after), so the multi-KB wire payload is
+	// released here instead of staying resident for the whole campaign. A
+	// hypothetical second lookup re-runs one experiment — sound, and the
+	// rerun's record supersedes the old one on the next resume.
+	delete(j.entries, journalKey{point, index})
+	w := rec.Experiment
+	return &w, nil
+}
+
+// Close closes the journal file. Nil-receiver safe.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// study binds the journal to one study's (or matrix point's) record
+// namespace. Nil-receiver safe, returning nil (checkpointing disabled).
+func (j *journal) study(c *Campaign, st *Study, point string) *studyJournal {
+	if j == nil {
+		return nil
+	}
+	return &studyJournal{j: j, point: point, fp: studyFingerprint(c, st, point)}
+}
+
+// studyJournal is one study's view of the journal: lookups and appends
+// keyed by experiment index under the study's point name and fingerprint.
+// All methods are nil-receiver safe so the engines thread it through
+// unconditionally.
+type studyJournal struct {
+	j     *journal
+	point string
+	fp    string
+}
+
+// lookup returns the journaled record for the index, or nil.
+func (sj *studyJournal) lookup(index int) (*ExperimentRecord, error) {
+	if sj == nil {
+		return nil, nil
+	}
+	w, err := sj.j.lookup(sj.point, index, sj.fp)
+	if err != nil || w == nil {
+		return nil, err
+	}
+	rec, _, _, err := decodeRecordWire(w)
+	return rec, err
+}
+
+// lookupRaw is lookup plus the journaled raw artifacts (locals, stamps).
+func (sj *studyJournal) lookupRaw(index int) (*ExperimentRecord, []*timeline.Local, []clocksync.StampedMessage, error) {
+	if sj == nil {
+		return nil, nil, nil, nil
+	}
+	w, err := sj.j.lookup(sj.point, index, sj.fp)
+	if err != nil || w == nil {
+		return nil, nil, nil, err
+	}
+	return decodeRecordWire(w)
+}
+
+// record journals one completed record.
+func (sj *studyJournal) record(rec *ExperimentRecord) error {
+	return sj.recordRaw(rec, nil, nil)
+}
+
+// recordRaw journals one completed record with its raw artifacts.
+func (sj *studyJournal) recordRaw(rec *ExperimentRecord, locals []*timeline.Local, stamps []clocksync.StampedMessage) error {
+	if sj == nil {
+		return nil
+	}
+	w, err := encodeRecordWire(rec, locals, stamps)
+	if err != nil {
+		return err
+	}
+	return sj.j.append(sj.point, rec.Index, sj.fp, w)
+}
+
+// campaignFingerprint hashes the campaign-level configuration that defines
+// record identity: name, virtual hosts with their hidden clock errors, and
+// the sync/check configuration. Worker counts are deliberately excluded —
+// resuming with a different pool size must reuse the records.
+func campaignFingerprint(c *Campaign) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "campaign %q\n", c.Name)
+	for _, hd := range c.Hosts {
+		fmt.Fprintf(h, "host %q clock %+v\n", hd.Name, hd.Clock)
+	}
+	fmt.Fprintf(h, "sync %+v\ncheck %+v\n", c.Sync, c.Check)
+	// Every outcome-affecting scalar of the runtime config: the injected
+	// notification delays and the watchdog, which decides when a silent
+	// node is declared crashed. (Source, Logf, and Transport are code.)
+	fmt.Fprintf(h, "runtime %v %v %v %v\n",
+		c.Runtime.LocalDelay, c.Runtime.RemoteDelay,
+		c.Runtime.WatchdogInterval, c.Runtime.WatchdogTimeout)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// studyFingerprint hashes one study's identity under the campaign: the
+// point name, experiment count, transport, chaos seed, placement, and
+// every node's fault specification (action calls included). Application
+// bodies are code and cannot be hashed; the spec-visible surface is the
+// stable identity the §2.2.3 study description defines.
+func studyFingerprint(c *Campaign, st *Study, point string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "campaign %s point %q study %q\n", campaignFingerprint(c), point, st.Name)
+	fmt.Fprintf(h, "experiments %d timeout %v transport %q seed %d\n",
+		st.Experiments, st.Timeout, st.Transport, st.ChaosSeed)
+	if st.Restarts != nil {
+		fmt.Fprintf(h, "restarts %+v\n", *st.Restarts)
+	}
+	for _, e := range st.Placement {
+		fmt.Fprintf(h, "place %q %q\n", e.Nickname, e.Host)
+	}
+	for _, def := range st.Nodes {
+		fmt.Fprintf(h, "node %q\n", def.Nickname)
+		for _, f := range def.Faults {
+			fmt.Fprintf(h, "fault %s %s %s", f.Name, f.Expr, f.Mode)
+			if f.Action != nil {
+				fmt.Fprintf(h, " %s", f.Action)
+			}
+			fmt.Fprintln(h)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -40,7 +41,8 @@ type clusterMsg struct {
 	Peer      string
 	Completed bool
 	Outcomes  map[string]string
-	Timeline  string   // one encoded local timeline (result frames)
+	Timeline  string   // one encoded local timeline chunk (result frames)
+	More      bool     // the Timeline continues in the next result frame
 	Dropped   []string // owners of timelines that could not be shipped
 	Seq       int      // result frame ordinal
 	Total     int      // result frame count from this peer
@@ -113,6 +115,11 @@ type Member struct {
 	ref     string   // reference host (sorted-first, coordinator-local)
 	timeout time.Duration
 	syncSeq int // monotonic across mini-phases: a stale pong must never match
+
+	// sj is the coordinator's checkpoint binding. The in-process engines
+	// hand one down; a stand-alone coordinator (cmd/lokid) opens its own
+	// from the campaign's Checkpoint in RunStudy/RunOne.
+	sj *studyJournal
 
 	inbox chan transport.Message
 	quit  chan struct{} // closed by Quit; unblocks Serve without a frame
@@ -400,15 +407,17 @@ func (m *Member) reportDone(coordinator string, index int, quit chan struct{}) {
 	}
 }
 
-// resultFrames encodes a member's artifacts as result frames, one
-// timeline per frame (the §3.5.6 text format is the wire format), with
-// outcomes repeated in each so any one frame carries them. A timeline
-// that cannot be encoded or cannot fit one frame is not counted in
-// Total (or the coordinator would wait forever for a frame that can
-// never arrive) — its owner is reported in Dropped instead, and the
-// coordinator discards the experiment: a machine's injections cannot be
-// verified from a global timeline that machine is missing from, so
-// accepting would be unsound.
+// resultFrames encodes a member's artifacts as result frames (the §3.5.6
+// text format is the wire format), with outcomes repeated in each so any
+// one frame carries them. A timeline larger than one frame's budget is
+// chunked across consecutive frames (More marks a continuation) rather
+// than dropped — the 60 KB frame limit is a transport property, not a
+// bound on how much a long experiment may record. Only a timeline that
+// cannot be encoded at all is reported in Dropped (it is not counted in
+// Total, or the coordinator would wait forever for a frame that can never
+// arrive), and the coordinator then discards the experiment: a machine's
+// injections cannot be verified from a global timeline that machine is
+// missing from, so accepting would be unsound.
 func resultFrames(logf func(string, ...interface{}), index int, locals []*timeline.Local, outcomes map[string]string) []clusterMsg {
 	// Leave generous headroom under transport.MaxFrame for the gob
 	// envelope, outcome map, and frame header.
@@ -423,11 +432,21 @@ func resultFrames(logf func(string, ...interface{}), index int, locals []*timeli
 			continue
 		}
 		if len(doc) > maxTimelineWire {
-			logf("campaign: cluster result: timeline %q is %d bytes, exceeds the %d-byte frame budget", tl.Owner, len(doc), maxTimelineWire)
-			dropped = append(dropped, tl.Owner)
-			continue
+			logf("campaign: cluster result: timeline %q is %d bytes, chunking across %d frames",
+				tl.Owner, len(doc), (len(doc)+maxTimelineWire-1)/maxTimelineWire)
 		}
-		frames = append(frames, clusterMsg{Index: index, Timeline: doc, Outcomes: outcomes})
+		for start := 0; start < len(doc); start += maxTimelineWire {
+			end := start + maxTimelineWire
+			if end > len(doc) {
+				end = len(doc)
+			}
+			frames = append(frames, clusterMsg{
+				Index:    index,
+				Timeline: doc[start:end],
+				More:     end < len(doc),
+				Outcomes: outcomes,
+			})
+		}
 	}
 	if len(frames) == 0 {
 		frames = append(frames, clusterMsg{Index: index, Outcomes: outcomes})
@@ -438,6 +457,27 @@ func resultFrames(logf func(string, ...interface{}), index int, locals []*timeli
 		frames[i].Dropped = dropped
 	}
 	return frames
+}
+
+// flushMembers runs one reset barrier at the given index without running
+// an experiment: every member acknowledges (resetting idempotently if it
+// was behind), proving it is up and listening. The journaled-resume fast
+// paths use it when zero experiments execute — otherwise stopCluster's
+// five best-effort broadcasts could all fire before a slow-starting
+// member process binds its socket, stranding it in Serve forever. (A
+// normal run gets this guarantee from the first experiment's reset
+// barrier.) Failure is logged, not fatal: members that are genuinely
+// gone must not wedge a resume that needs nothing from them.
+func (m *Member) flushMembers(index int) {
+	peers := m.tr.Topology().PeerNames()
+	if len(peers) == 0 {
+		return
+	}
+	if _, err := m.await(opResetOK, index, asSet(peers), nil, func() {
+		m.broadcastCtrl(opReset, clusterMsg{Index: index})
+	}); err != nil {
+		m.rt.Logf("campaign: cluster %s: resume flush barrier: %v", m.peer, err)
+	}
 }
 
 // stopCluster broadcasts the stop instruction several times: stop is the
@@ -452,16 +492,48 @@ func (m *Member) stopCluster() {
 	}
 }
 
+// ensureJournal opens the member's own journal from the campaign's
+// Checkpoint when no binding was handed down by an in-process engine —
+// the stand-alone coordinator path (cmd/lokid). The returned closer is
+// a no-op when nothing was opened here.
+func (m *Member) ensureJournal() (func(), error) {
+	if m.sj != nil || m.c.Checkpoint == nil {
+		return func() {}, nil
+	}
+	j, err := openCampaignJournal(m.c)
+	if err != nil {
+		return nil, err
+	}
+	m.sj = j.study(m.c, m.st, m.st.Name)
+	return func() { j.Close() }, nil
+}
+
 // RunStudy drives the whole study from the coordinator member, returning
-// records identical in shape to the single-process engine's.
+// records identical in shape to the single-process engine's. Journaled
+// experiments are skipped (the members never see a reset for them); fresh
+// records are journaled as their analysis completes, so a crashed
+// coordinator resumes at the first missing experiment.
 func (m *Member) RunStudy() (*StudyResult, error) {
+	closeJournal, err := m.ensureJournal()
+	if err != nil {
+		return nil, err
+	}
+	defer closeJournal()
 	defer m.stopCluster()
 	experiments := m.st.Experiments
 	if experiments <= 0 {
 		experiments = 1
 	}
 	records := make([]*ExperimentRecord, experiments)
+	executed := false
 	for i := 0; i < experiments; i++ {
+		if rec, err := m.sj.lookup(i); err != nil {
+			return nil, err
+		} else if rec != nil {
+			records[i] = rec
+			continue
+		}
+		executed = true
 		raw, err := m.runOne(i)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: clustered experiment %d: %w", i, err)
@@ -471,20 +543,42 @@ func (m *Member) RunStudy() (*StudyResult, error) {
 			return nil, err
 		}
 		records[i] = rec
+		if err := m.sj.record(rec); err != nil {
+			return nil, err
+		}
+	}
+	if !executed {
+		m.flushMembers(experiments)
 	}
 	return &StudyResult{Name: m.st.Name, Records: records}, nil
 }
 
 // RunOne runs a single clustered experiment (cmd/lokid's one-experiment
-// mode), returning the analyzed record plus the raw artifacts.
+// mode), returning the analyzed record plus the raw artifacts. With a
+// Checkpoint, a journaled experiment is returned — raw artifacts included,
+// so the caller can still write its files — without touching the cluster.
 func (m *Member) RunOne() (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
+	closeJournal, err := m.ensureJournal()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer closeJournal()
 	defer m.stopCluster()
+	if rec, locals, stamps, err := m.sj.lookupRaw(0); err != nil {
+		return nil, nil, nil, err
+	} else if rec != nil {
+		m.flushMembers(1)
+		return rec, stamps, locals, nil
+	}
 	raw, err := m.runOne(0)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	rec, err := analyzeExperiment(m.c, m.st, raw)
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := m.sj.recordRaw(rec, raw.locals, raw.allStamps()); err != nil {
 		return nil, nil, nil, err
 	}
 	return rec, raw.allStamps(), raw.locals, nil
@@ -579,21 +673,33 @@ func (m *Member) runOne(index int) (*rawExperiment, error) {
 		outcomes[k] = v
 	}
 	var lost []string
-	for _, frames := range results {
+	for peer, frames := range results {
+		// Frames arrive in Seq order; a chunked timeline spans consecutive
+		// frames, terminated by the first frame without More.
+		var pending strings.Builder
 		for i, f := range frames {
-			if f.Timeline != "" {
-				tl, err := timeline.DecodeString(f.Timeline)
-				if err != nil {
-					return nil, fmt.Errorf("decoding peer timeline: %w", err)
-				}
-				locals = append(locals, tl)
-			}
 			for k, v := range f.Outcomes {
 				outcomes[k] = v
 			}
 			if i == 0 {
 				lost = append(lost, f.Dropped...)
 			}
+			if f.Timeline == "" && pending.Len() == 0 {
+				continue
+			}
+			pending.WriteString(f.Timeline)
+			if f.More {
+				continue
+			}
+			tl, err := timeline.DecodeString(pending.String())
+			if err != nil {
+				return nil, fmt.Errorf("decoding peer %s timeline: %w", peer, err)
+			}
+			pending.Reset()
+			locals = append(locals, tl)
+		}
+		if pending.Len() > 0 {
+			return nil, fmt.Errorf("peer %s result stream ended mid-timeline (%d bytes pending)", peer, pending.Len())
 		}
 	}
 	sort.Slice(locals, func(i, j int) bool { return locals[i].Owner < locals[j].Owner })
@@ -813,13 +919,41 @@ func (m *Member) awaitPong(host string, seq int) (syncWire, bool) {
 // (and be raced) inside one test binary. cmd/lokid wires real OS
 // processes to the same Member protocol.
 func RunClustered(c *Campaign, st *Study, kind string) (*StudyResult, error) {
+	j, err := openCampaignJournal(c)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
+	return runClustered(c, st, kind, j.study(c, st, st.Name))
+}
+
+// runClustered is RunClustered with the checkpoint binding handed down by
+// whichever engine already opened the journal (Run, RunMatrix).
+func runClustered(c *Campaign, st *Study, kind string, sj *studyJournal) (*StudyResult, error) {
+	var sr *StudyResult
+	err := withLoopbackCluster(c, st, kind, func(coordinator *Member) error {
+		coordinator.sj = sj
+		var err error
+		sr, err = coordinator.RunStudy()
+		return err
+	})
+	return sr, err
+}
+
+// withLoopbackCluster builds the loopback cluster — one endpoint and one
+// member per campaign host — serves every non-coordinator member on its
+// own goroutine, and hands the coordinator to drive. Teardown unblocks
+// and drains the Serve goroutines on every exit path (a lost stop
+// datagram or an early error must not wedge or leak them) before shutting
+// runtimes down.
+func withLoopbackCluster(c *Campaign, st *Study, kind string, drive func(coordinator *Member) error) error {
 	hosts := make(map[string]string, len(c.Hosts))
 	for _, h := range c.Hosts {
 		hosts[h.Name] = h.Name // peer per host, peer name = host name
 	}
 	eps, err := transport.NewLoopbackCluster(kind, hosts)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer func() {
 		for _, ep := range eps {
@@ -832,9 +966,6 @@ func RunClustered(c *Campaign, st *Study, kind string) (*StudyResult, error) {
 	serveErr := make(chan error, len(eps))
 	serving := 0
 	defer func() {
-		// Every exit path — NewMember failure included — must unblock
-		// the Serve goroutines (a lost stop datagram or an early error
-		// must not wedge or leak them) before shutting runtimes down.
 		for _, m := range members {
 			m.Quit()
 		}
@@ -851,7 +982,7 @@ func RunClustered(c *Campaign, st *Study, kind string) (*StudyResult, error) {
 	for _, peer := range sortedPeers(eps) {
 		m, err := NewMember(c, st, eps[peer])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if m.Coordinator() {
 			coordinator = m
@@ -862,9 +993,9 @@ func RunClustered(c *Campaign, st *Study, kind string) (*StudyResult, error) {
 		go func(m *Member) { serveErr <- m.Serve() }(m)
 	}
 	if coordinator == nil {
-		return nil, fmt.Errorf("campaign: no member owns reference host")
+		return fmt.Errorf("campaign: no member owns reference host")
 	}
-	return coordinator.RunStudy()
+	return drive(coordinator)
 }
 
 func sortedPeers(eps map[string]transport.Transport) []string {

@@ -213,6 +213,21 @@ func RunMatrix(c *Campaign, m *Matrix) (*MatrixResult, error) {
 		return nil, fmt.Errorf("campaign: no hosts defined")
 	}
 	pts := m.Points()
+	// Duplicate point names — duplicate scenario/latency names or repeated
+	// seeds — would shadow each other in MatrixResult.Point and collide in
+	// the checkpoint journal's record keys: fail before any point runs.
+	names := make(map[string]bool, len(pts))
+	for _, p := range pts {
+		if names[p.Name()] {
+			return nil, fmt.Errorf("campaign: matrix %q: duplicate point name %q (duplicate scenario/latency names or repeated seeds)", m.Name, p.Name())
+		}
+		names[p.Name()] = true
+	}
+	j, err := openCampaignJournal(c)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Close()
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -266,7 +281,11 @@ func RunMatrix(c *Campaign, m *Matrix) (*MatrixResult, error) {
 					fail(err)
 					return
 				}
-				sr, err := runStudyOn(pointCampaign(c, m, p, innerW), st)
+				// The point's derived campaign (latency overrides applied)
+				// is what fingerprints the journaled records: resuming with
+				// a changed profile must not reuse them.
+				pc := pointCampaign(c, m, p, innerW)
+				sr, err := runStudyOn(pc, st, j.study(pc, st, p.Name()))
 				if err != nil {
 					fail(fmt.Errorf("campaign: matrix point %s: %w", p.Name(), err))
 					return

@@ -194,3 +194,17 @@ func ReadFile(path, what string) (string, error) {
 func RunSingleExperiment(c *campaign.Campaign) (*campaign.ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
 	return campaign.RunSingle(c)
 }
+
+// CheckpointFor builds the tools' shared checkpoint configuration:
+// journaling rides with the artifact directory (the journal is
+// outDir/checkpoint.jsonl), and -resume without an artifact directory is
+// a usage error — there is no journal to resume from.
+func CheckpointFor(outDir string, resume bool) (*campaign.Checkpoint, error) {
+	if outDir == "" {
+		if resume {
+			return nil, fmt.Errorf("cli: -resume requires -out (the journal lives in the artifact directory)")
+		}
+		return nil, nil
+	}
+	return &campaign.Checkpoint{Dir: outDir, Resume: resume}, nil
+}

@@ -140,3 +140,16 @@ func TestReadFile(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestCheckpointFor(t *testing.T) {
+	if cp, err := CheckpointFor("", false); err != nil || cp != nil {
+		t.Fatalf("no out dir: cp=%v err=%v, want nil/nil", cp, err)
+	}
+	if _, err := CheckpointFor("", true); err == nil {
+		t.Fatal("resume without an artifact directory accepted")
+	}
+	cp, err := CheckpointFor("art", true)
+	if err != nil || cp == nil || cp.Dir != "art" || !cp.Resume {
+		t.Fatalf("CheckpointFor(art, true) = %+v, %v", cp, err)
+	}
+}

@@ -43,7 +43,15 @@ func Encode(w io.Writer, l *Local) error {
 	bw.WriteString("end_event_list\n")
 	bw.WriteString("fault_list\n")
 	for i, f := range l.Faults {
-		fmt.Fprintf(bw, "%d %s %s %s\n", i, f.Name, f.Expr, f.Mode)
+		// The action call is part of the spec line grammar ParseSpecLine
+		// accepts, so it must survive the encode/decode round trip —
+		// cluster result streaming and checkpoint journals both ship
+		// timelines through this format.
+		if f.Action != nil {
+			fmt.Fprintf(bw, "%d %s %s %s %s\n", i, f.Name, f.Expr, f.Mode, f.Action)
+		} else {
+			fmt.Fprintf(bw, "%d %s %s %s\n", i, f.Name, f.Expr, f.Mode)
+		}
 	}
 	bw.WriteString("end_fault_list\n")
 	bw.WriteString("host_list\n")

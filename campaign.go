@@ -1,10 +1,12 @@
 package loki
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/probe"
-	"time"
 )
 
 // Campaign-pipeline types (§2.3, Fig. 2.1).
@@ -40,7 +42,25 @@ type (
 // records land at their experiment index, so results are ordered
 // identically however many workers run. Accepted experiments are available
 // via StudyOutcome.AcceptedGlobals for measure estimation.
-func RunCampaign(c *Campaign) (*CampaignOutcome, error) { return campaign.Run(c) }
+//
+// Deprecated: RunCampaign is a thin shim over the Session API and will be
+// removed next release. Use Open(c) and Session.Run, which add
+// cancellation, status, resume, and artifact emission:
+//
+//	s, err := loki.Open(c)
+//	res, err := s.Run(ctx) // res.Campaign is this function's return
+func RunCampaign(c *Campaign) (*CampaignOutcome, error) {
+	s, err := Open(c)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Campaign, nil
+}
 
 // Probe construction (§3.5.7 and the Chapter 6 probe templates).
 type (

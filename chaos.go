@@ -1,6 +1,8 @@
 package loki
 
 import (
+	"context"
+
 	"repro/internal/campaign"
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -62,7 +64,28 @@ func ParseChaosAction(call *ActionCall) (ChaosAction, error) { return chaos.Pars
 // configuration, sharding points across the campaign's worker pool.
 // Results land at their point index, so any worker count orders results
 // identically.
-func RunMatrix(c *Campaign, m *Matrix) (*MatrixOutcome, error) { return campaign.RunMatrix(c, m) }
+//
+// Deprecated: RunMatrix is a thin shim over the Session API and will be
+// removed next release. Use Open(c, WithMatrix(m)) and Session.Run:
+//
+//	s, err := loki.Open(c, loki.WithMatrix(m))
+//	res, err := s.Run(ctx) // res.Matrix is this function's return
+func RunMatrix(c *Campaign, m *Matrix) (*MatrixOutcome, error) {
+	// The legacy engine ignored c.Studies (points come from m.Build);
+	// preserve that here, where Open would reject the ambiguity.
+	cc := *c
+	cc.Studies = nil
+	s, err := Open(&cc, WithMatrix(m))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return res.Matrix, nil
+}
 
 // ParseScenarioFaults parses machine-prefixed fault lines
 // ("<machine> <name> <expr> <once|always> [action(args) [for]]") into

@@ -24,7 +24,6 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/cli"
 	"repro/internal/clocksync"
 	"repro/internal/simnet"
 	"repro/internal/spec"
@@ -47,11 +46,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	doc, err := cli.ReadFile(*machinesPath, "machines file")
+	doc, err := os.ReadFile(*machinesPath)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("reading machines file %q: %v", *machinesPath, err)
 	}
-	hosts, err := spec.ParseMachinesFile(doc)
+	hosts, err := spec.ParseMachinesFile(string(doc))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,38 +1,40 @@
 // Command lokid runs the runtime phase only — the daemons' job in thesis
-// §3.5: it boots the virtual testbed, runs one experiment of a study
-// (synchronization mini-phases included), and writes the raw artifacts the
-// off-line pipeline consumes: one local timeline file per state machine
-// (§3.5.6 format) and the timestamps file for alphabeta.
+// §3.5 — as a thin shell around the loki.Session API: one experiment of a
+// study (synchronization mini-phases included), emitting the raw
+// artifacts the off-line pipeline consumes: one local timeline file per
+// state machine (§3.5.6 format) and the timestamps file for alphabeta.
 //
 // Single-process usage (the whole testbed on the in-memory bus):
 //
+//	lokid -config campaign.json -out DIR
 //	lokid -nodes nodes.txt [-faults faults.txt] [-app election|replica]
 //	      [-runfor 150ms] [-dormancy 10ms] [-seed 1] -out DIR
 //
 // Multi-process usage: one lokid per OS process, each hosting a subset of
-// the virtual hosts, connected over real sockets. All processes share the
-// same node/fault files and seed; -owners assigns hosts to peers:
+// the virtual hosts, connected over real sockets. The topology can live
+// in the campaign file's "cluster" section (every process passes its own
+// -name) or entirely in flags:
+//
+//	lokid -config campaign.json -name alpha -listen 127.0.0.1:7101 -out DIR &
+//	lokid -config campaign.json -name beta  -listen 127.0.0.1:7102
 //
 //	lokid -nodes nodes.txt -out DIR -transport udp \
 //	      -name alpha -listen 127.0.0.1:7101 \
 //	      -peers 'alpha=127.0.0.1:7101,beta=127.0.0.1:7102' \
 //	      -owners 'h1=alpha,h2=beta,h3=beta' &
-//	lokid -nodes nodes.txt -out DIR -transport udp \
+//	lokid -nodes nodes.txt -transport udp \
 //	      -name beta -listen 127.0.0.1:7102 \
 //	      -peers 'alpha=127.0.0.1:7101,beta=127.0.0.1:7102' \
 //	      -owners 'h1=alpha,h2=beta,h3=beta'
 //
 // The peer owning the lexicographically first host coordinates: it runs
-// the experiment protocol, performs the analysis phase with the
-// timelines streamed back from every peer, writes the artifacts, and
-// tells the other processes to stop. SIGINT/SIGTERM drain cleanly: the
-// member protocol is interrupted, socket listeners close, and node
-// goroutines are killed before exit.
+// the experiment protocol, performs the analysis phase with the timelines
+// streamed back from every peer, writes the artifacts, and tells the
+// other processes to stop. SIGINT/SIGTERM drain cleanly.
 //
-// In both modes the experiment's record (streamed peer timelines and sync
-// stamps included) is journaled to OUT/checkpoint.jsonl when it completes;
-// re-invoking with -resume rewrites the artifacts from the journal instead
-// of rerunning — the crash-recovery path for a killed coordinator.
+// In both modes the experiment's record is journaled to
+// OUT/checkpoint.jsonl when it completes; re-invoking with -resume
+// rewrites the artifacts from the journal instead of rerunning.
 //
 // Continue the pipeline with:
 //
@@ -52,17 +54,15 @@ import (
 	"time"
 
 	loki "repro"
-	"repro/internal/campaign"
-	"repro/internal/cli"
-	"repro/internal/clocksync"
-	"repro/internal/timeline"
+	"repro/internal/config"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lokid: ")
 	var (
-		nodesPath  = flag.String("nodes", "", "node file (required)")
+		configPath = flag.String("config", "", "campaign file (JSON); replaces the node/fault flags")
+		nodesPath  = flag.String("nodes", "", "node file (flag form)")
 		faultsPath = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always> [action]' per line")
 		app        = flag.String("app", "election", "built-in application: election or replica")
 		runFor     = flag.Duration("runfor", 150*time.Millisecond, "application run time")
@@ -79,194 +79,189 @@ func main() {
 	)
 	flag.Parse()
 
-	// Satellite of the transport work, useful in every mode: SIGINT or
-	// SIGTERM cancels the run instead of leaving sockets and node
-	// goroutines to die with the process.
+	// SIGINT or SIGTERM cancels the run instead of leaving sockets and
+	// node goroutines to die with the process.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	clustered := *transportKind != "" || *listen != "" || *peersFlag != "" || *ownersFlag != "" || *name != ""
-	if *nodesPath == "" || (*outDir == "" && !clustered) {
+	if *nodesPath == "" && *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *configPath != "" {
+		// Study-shaping flags would be silently ignored next to -config;
+		// reject the combination (cluster flags and -out/-resume compose
+		// as session options and stay legal).
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, n := range []string{"nodes", "faults", "app", "runfor", "dormancy", "seed"} {
+			if set[n] {
+				log.Fatalf("-%s shapes the flag-form campaign and does not combine with -config; put it in the campaign file", n)
+			}
+		}
+	}
+	cfg, err := loadOrAssemble(*configPath, *nodesPath, *faultsPath, *app, *runFor, *dormancy, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := clusterConfig(cfg, *transportKind, *name, *listen, *peersFlag, *ownersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *outDir == "" && cluster == nil {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	nodesDoc, err := cli.ReadFile(*nodesPath, "node file")
-	if err != nil {
-		log.Fatal(err)
-	}
-	nodes, err := loki.ParseNodeFile(nodesDoc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var faults []cli.MachineFault
-	if *faultsPath != "" {
-		doc, err := cli.ReadFile(*faultsPath, "fault file")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if faults, err = cli.ParseFaultFile(doc); err != nil {
-			log.Fatal(err)
-		}
-	}
-	study, err := cli.BuildStudy("runtime", cli.StudyOptions{
-		App: *app, Nodes: nodes, Faults: faults,
-		RunFor: *runFor, Dormancy: *dormancy, Seed: *seed, Experiments: 1,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	c := &loki.Campaign{
-		Name:    "lokid",
-		Hosts:   cli.HostsFor(nodes, *seed),
-		Studies: []*loki.Study{study},
-		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
-	}
+	var opts []loki.Option
 	if *outDir != "" {
-		// The coordinator journals each experiment's record — streamed
-		// peer timelines included — as it completes, so a crashed run
-		// re-invoked with -resume rewrites its artifacts from the journal
-		// instead of rerunning the cluster. (Members without -out carry no
-		// journal; -resume is the coordinator's concern.)
-		ckpt, err := cli.CheckpointFor(*outDir, *resume)
+		opts = append(opts, loki.WithArtifacts(*outDir))
+	}
+	if *resume {
+		if *outDir == "" {
+			log.Fatal("-resume requires -out (the journal lives in the artifact directory)")
+		}
+		opts = append(opts, loki.WithCheckpoint(*outDir, true))
+	}
+	if cluster != nil {
+		opts = append(opts, loki.WithCluster(*cluster))
+	}
+	s, err := loki.Open(cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	if cluster != nil {
+		coordinator, err := s.ClusterCoordinator()
 		if err != nil {
 			log.Fatal(err)
 		}
-		c.Checkpoint = ckpt
+		if coordinator && *outDir == "" {
+			// Fail before the whole cluster runs an experiment whose
+			// artifacts would be silently discarded.
+			log.Fatal("this peer owns the reference host and coordinates: -out is required")
+		}
+		role := "member"
+		if coordinator {
+			role = "coordinator"
+		}
+		fmt.Printf("%s %s running (transport %s)\n", role, cluster.Name, cluster.Kind)
 	}
 
-	var (
-		rec    *loki.ExperimentRecord
-		stamps []clocksync.StampedMessage
-		locals []*timeline.Local
-	)
-	if clustered {
-		rec, stamps, locals = runClustered(ctx, c, study, cli.ClusterOptions{
-			Kind: *transportKind, Name: *name, Listen: *listen,
-			Peers: *peersFlag, Owners: *ownersFlag, OutDir: *outDir,
-		})
-		if rec == nil {
-			return // non-coordinator member: artifacts are the coordinator's
-		}
-	} else {
-		type single struct {
-			rec    *loki.ExperimentRecord
-			stamps []clocksync.StampedMessage
-			locals []*timeline.Local
-			err    error
-		}
-		ch := make(chan single, 1)
-		go func() {
-			r, s, l, err := cli.RunSingleExperiment(c)
-			ch <- single{r, s, l, err}
-		}()
+	// Run off the main goroutine so a signal aborts immediately even
+	// mid-experiment: a clustered run quits its protocol and returns via
+	// ctx, but the in-process engine never interrupts a runtime phase —
+	// there the pre-Session fatal-on-signal behaviour is kept.
+	type oneResult struct {
+		e   *loki.Experiment
+		err error
+	}
+	ch := make(chan oneResult, 1)
+	go func() {
+		e, err := s.RunOne(ctx)
+		ch <- oneResult{e, err}
+	}()
+	var e *loki.Experiment
+	select {
+	case <-ctx.Done():
+		// The experiment may have finished (artifacts written) in the
+		// same instant the signal landed; prefer its result over lying
+		// about it.
 		select {
-		case <-ctx.Done():
-			log.Fatal("interrupted; no artifacts written")
 		case got := <-ch:
-			if got.err != nil {
-				log.Fatal(got.err)
+			e, err = got.e, got.err
+		default:
+			if cluster == nil {
+				log.Fatal("interrupted; no artifacts written")
 			}
-			rec, stamps, locals = got.rec, got.stamps, got.locals
+			got := <-ch // member protocol quits promptly on cancellation
+			e, err = got.e, got.err
 		}
+	case got := <-ch:
+		e, err = got.e, got.err
 	}
-
-	if !rec.Completed {
+	if err != nil {
+		log.Fatal(err)
+	}
+	if e.Served {
+		fmt.Printf("member %s done\n", cluster.Name)
+		return
+	}
+	if !e.Record.Completed {
 		log.Fatal("experiment timed out; no artifacts written")
 	}
-	if rec.AnalysisError != "" {
+	if e.Record.AnalysisError != "" {
 		// The analysis phase discarded the run (e.g. infeasible clock
 		// synchronization after a clockstep fault): its artifacts cannot
-		// be trusted, so keep the pre-chaos fatal behaviour.
-		if rec.ClockStepSuspected {
-			log.Printf("clock step suspected on hosts %v", rec.ClockStepHosts)
+		// be trusted, and the Session wrote none.
+		if e.Record.ClockStepSuspected {
+			log.Printf("clock step suspected on hosts %v", e.Record.ClockStepHosts)
 		}
-		log.Fatalf("experiment discarded by analysis: %s", rec.AnalysisError)
+		log.Fatalf("experiment discarded by analysis: %s", e.Record.AnalysisError)
 	}
-	if err := writeArtifacts(*outDir, stamps, locals); err != nil {
-		log.Fatal(err)
+	for _, tl := range e.Locals {
+		fmt.Printf("wrote %s (%d entries)\n", filepath.Join(*outDir, tl.Owner+".timeline"), len(tl.Entries))
 	}
-	for nick, outcome := range rec.Outcomes {
+	fmt.Printf("wrote %s (%d messages)\n", filepath.Join(*outDir, "timestamps.txt"), len(e.Stamps))
+	for nick, outcome := range e.Record.Outcomes {
 		fmt.Printf("node %s: %s\n", nick, outcome)
 	}
 }
 
-// runClustered joins (or coordinates) a multi-process experiment. It
-// returns nils for a non-coordinator member, whose job ends when the
-// coordinator says stop.
-func runClustered(ctx context.Context, c *loki.Campaign, study *loki.Study, opts cli.ClusterOptions) (*loki.ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local) {
-	tr, err := cli.BuildClusterTransport(opts)
-	if err != nil {
-		log.Fatal(err)
+// loadOrAssemble returns the campaign description: loaded from -config or
+// assembled from the classic files (one study, one experiment).
+func loadOrAssemble(configPath, nodesPath, faultsPath, app string, runFor, dormancy time.Duration, seed int64) (*loki.CampaignFile, error) {
+	if configPath != "" {
+		return loki.LoadCampaignFile(configPath)
 	}
-	defer tr.Close()
-	member, err := campaign.NewMember(c, study, tr)
-	if err != nil {
-		log.Fatal(err)
+	if nodesPath == "" {
+		return nil, fmt.Errorf("need -config or -nodes")
 	}
-	defer member.Close()
-	go func() {
-		<-ctx.Done()
-		member.Quit() // drain: interrupt the protocol, then close sockets
-	}()
-
-	if !member.Coordinator() {
-		fmt.Printf("member %s serving (transport %s)\n", opts.Name, tr.Name())
-		if err := member.Serve(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("member %s done\n", opts.Name)
-		return nil, nil, nil
-	}
-	if opts.OutDir == "" {
-		// Fail before the whole cluster runs an experiment whose
-		// artifacts would be silently discarded.
-		log.Fatal("this peer owns the reference host and coordinates: -out is required")
-	}
-	fmt.Printf("coordinator %s running experiment (transport %s)\n", opts.Name, tr.Name())
-	rec, stamps, locals, err := member.RunOne()
-	if err != nil {
-		log.Fatal(err)
-	}
-	return rec, stamps, locals
+	return config.AssembleClassicFiles("lokid", nodesPath, faultsPath, config.ClassicOptions{
+		StudyName:   "runtime",
+		App:         app,
+		Experiments: 1,
+		Seed:        seed,
+		RunFor:      runFor,
+		Dormancy:    dormancy,
+	})
 }
 
-// writeArtifacts emits the raw runtime artifacts: per-machine timelines
-// and the timestamps file.
-func writeArtifacts(outDir string, stamps []clocksync.StampedMessage, locals []*timeline.Local) error {
-	if outDir == "" {
-		return nil
+// clusterConfig merges the campaign file's cluster section with the
+// multi-process flags (flags win). A nil result means single-process.
+func clusterConfig(cfg *loki.CampaignFile, kind, name, listen, peers, owners string) (*loki.ClusterConfig, error) {
+	flagged := kind != "" || name != "" || listen != "" || peers != "" || owners != ""
+	if !flagged && (cfg == nil || cfg.Cluster == nil) {
+		return nil, nil
 	}
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
-		return err
+	cl := &loki.ClusterConfig{Name: name, Listen: listen, Kind: kind}
+	if cfg != nil && cfg.Cluster != nil {
+		if cl.Kind == "" {
+			cl.Kind = cfg.Cluster.Kind
+		}
+		cl.Peers = cfg.Cluster.Peers
+		cl.Owners = cfg.Cluster.Owners
 	}
-	for _, tl := range locals {
-		path := filepath.Join(outDir, tl.Owner+".timeline")
-		f, err := os.Create(path)
+	if peers != "" {
+		m, err := config.ParseAssignments(peers, "peer")
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := timeline.Encode(f, tl); err != nil {
-			f.Close()
-			return err
+		cl.Peers = m
+	}
+	if owners != "" {
+		m, err := config.ParseAssignments(owners, "owner")
+		if err != nil {
+			return nil, err
 		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s (%d entries)\n", path, len(tl.Entries))
+		cl.Owners = m
 	}
-	stampPath := filepath.Join(outDir, "timestamps.txt")
-	f, err := os.Create(stampPath)
-	if err != nil {
-		return err
+	if cl.Name == "" {
+		return nil, fmt.Errorf("multi-process mode needs -name")
 	}
-	if err := clocksync.EncodeTimestamps(f, stamps); err != nil {
-		f.Close()
-		return err
+	if len(cl.Peers) == 0 || len(cl.Owners) == 0 {
+		return nil, fmt.Errorf("multi-process mode needs peer and owner tables (-peers/-owners or the campaign file's cluster section)")
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s (%d messages)\n", stampPath, len(stamps))
-	return nil
+	return cl, nil
 }

@@ -1,51 +1,62 @@
 // Command lokirun is the campaign driver — the central daemon role of
-// thesis §3.5.1 extended over the full pipeline of Fig. 2.1: it runs every
-// experiment of a study on the virtual testbed (with synchronization
-// mini-phases), performs the analysis phase, writes the per-experiment
-// artifacts (local timelines, timestamps, alphabeta bounds, global
-// timeline), and prints the acceptance summary.
+// thesis §3.5.1 extended over the full pipeline of Fig. 2.1 — as a thin
+// shell around the loki.Session API: it opens a campaign, runs every
+// experiment of every study (or matrix point), and prints the acceptance
+// summary; artifact files and the checkpoint journal are the Session's
+// doing.
 //
-// Usage:
+// The preferred input is a declarative campaign file:
+//
+//	lokirun -config campaign.json [-workers N] [-out DIR] [-resume]
+//	lokirun -config campaign.json -dry-run   # validate + fingerprint only
+//	lokirun -config campaign.json -out DIR -status  # journal summary only
+//
+// The thesis-era flag form assembles the same campaign description from
+// the classic files and remains supported:
 //
 //	lokirun -nodes nodes.txt [-faults faults.txt] [-app election|replica]
 //	        [-scenarios chaos.txt -scenario NAME]
 //	        [-experiments N] [-runfor 150ms] [-dormancy 10ms] [-restart]
-//	        [-seed 1] [-workers N] [-out DIR] [-resume]
+//	        [-seed 1] [-workers N] [-transport inproc|udp|tcp]
+//	        [-out DIR] [-resume]
+//
+// A -scenarios/-scenario overlay appends the named scenario's fault lines
+// to the study's fault list, where they behave exactly like fault-file
+// lines: entries naming a built-in chaos action run that action, entries
+// without one crash the machine after -dormancy (one semantics for fault
+// lines wherever they appear, matching the campaign-file schema).
 //
 // With -out, every completed experiment's record is journaled to
-// DIR/checkpoint.jsonl as it finishes; rerunning with -resume skips the
-// journaled experiments and executes only the missing ones, so a killed
-// long campaign restarts where it stopped instead of from experiment zero.
-//
-// The node file is the §3.5.1 format ("<nick> [<host>]"); the fault file
-// holds "<machine> <name> <expr> <once|always> [action(args) [for]]"
-// lines. Injected faults without an action crash the target after the
-// dormancy; faults naming a built-in chaos action (partition, drop, delay,
-// duplicate, corrupt, crash, crashrestart, clockstep) execute that action
-// instead. -scenarios/-scenario overlay a named chaos scenario from a
-// scenario spec file ("scenario <name> ... end" blocks of such fault
-// lines) onto the study.
+// DIR/checkpoint.jsonl as it finishes; -resume skips the journaled
+// experiments and executes only the missing ones; -status summarizes the
+// journal (complete/missing/accepted per study or point) without running
+// anything. Ctrl-C cancels cleanly: no further experiments start,
+// in-flight ones drain into the journal.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"syscall"
 	"time"
 
 	loki "repro"
-	"repro/internal/analysis"
-	"repro/internal/cli"
-	"repro/internal/clocksync"
+	"repro/internal/config"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lokirun: ")
 	var (
-		nodesPath    = flag.String("nodes", "", "node file (required): '<nick> [<host>]' per line")
+		configPath = flag.String("config", "", "campaign file (JSON); replaces the thesis-era flags below")
+		dryRun     = flag.Bool("dry-run", false, "validate the campaign and print its fingerprint without running")
+		status     = flag.Bool("status", false, "summarize the checkpoint journal (requires -out or a checkpoint in the campaign file) without running")
+
+		nodesPath    = flag.String("nodes", "", "node file: '<nick> [<host>]' per line (flag form)")
 		faultsPath   = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always> [action]' per line")
 		scenarioFile = flag.String("scenarios", "", "chaos scenario spec file ('scenario <name> ... end' blocks)")
 		scenarioName = flag.String("scenario", "", "named chaos scenario to overlay (requires -scenarios)")
@@ -55,151 +66,212 @@ func main() {
 		dormancy     = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy (0 = immediate crash)")
 		restart      = flag.Bool("restart", false, "restart crashed nodes once (supervisor)")
 		seed         = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
-		workers      = flag.Int("workers", 0, "concurrent experiment executors (0 = GOMAXPROCS)")
-		transportK   = flag.String("transport", "", "study transport: inproc (default), udp, or tcp (socket studies run one runtime per host over loopback, experiments sequential)")
-		outDir       = flag.String("out", "", "artifact directory (default: none written); completed experiments are journaled to DIR/checkpoint.jsonl as they finish")
-		resume       = flag.Bool("resume", false, "resume from DIR/checkpoint.jsonl: skip journaled experiments, run only the missing ones (requires -out)")
+		workers      = flag.Int("workers", 0, "concurrent experiment executors (0 = campaign file's count or GOMAXPROCS)")
+		transportK   = flag.String("transport", "", "run every study over this transport: inproc, udp, or tcp")
+		outDir       = flag.String("out", "", "artifact directory; completed experiments are journaled to DIR/checkpoint.jsonl")
+		resume       = flag.Bool("resume", false, "resume from the checkpoint journal: run only the missing experiments")
 	)
 	flag.Parse()
-	if *nodesPath == "" {
+	if *configPath == "" && *nodesPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	checkpoint, err := cli.CheckpointFor(*outDir, *resume)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	nodesDoc, err := cli.ReadFile(*nodesPath, "node file")
-	if err != nil {
-		log.Fatal(err)
-	}
-	nodes, err := loki.ParseNodeFile(nodesDoc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var faults []cli.MachineFault
-	if *faultsPath != "" {
-		doc, err := cli.ReadFile(*faultsPath, "fault file")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if faults, err = cli.ParseFaultFile(doc); err != nil {
-			log.Fatal(err)
+	if *configPath != "" {
+		// The flag form and the campaign file describe the same thing; a
+		// study-shaping flag alongside -config would be silently ignored,
+		// so reject the combination instead (-workers/-transport/-out
+		// compose as session options and stay legal).
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, n := range []string{"nodes", "faults", "scenarios", "scenario", "app", "experiments", "runfor", "dormancy", "restart", "seed"} {
+			if set[n] {
+				log.Fatalf("-%s shapes the flag-form campaign and does not combine with -config; put it in the campaign file", n)
+			}
 		}
 	}
 
-	study, err := cli.BuildStudy("study1", cli.StudyOptions{
-		App:         *app,
-		Nodes:       nodes,
-		Faults:      faults,
-		RunFor:      *runFor,
-		Dormancy:    *dormancy,
-		Seed:        *seed,
-		Experiments: *experiments,
-		Restart:     *restart,
+	cfg, err := loadOrAssemble(*configPath, flagForm{
+		nodes: *nodesPath, faults: *faultsPath,
+		scenarios: *scenarioFile, scenario: *scenarioName,
+		app: *app, experiments: *experiments, runFor: *runFor,
+		dormancy: *dormancy, restart: *restart, seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	study.Transport = *transportK
-	if *scenarioName != "" || *scenarioFile != "" {
-		if *scenarioName == "" || *scenarioFile == "" {
-			log.Fatal("-scenario and -scenarios must be given together")
-		}
-		doc, err := cli.ReadFile(*scenarioFile, "scenario file")
-		if err != nil {
+	if *dryRun {
+		if err := loki.ValidateCampaignFile(cfg); err != nil {
 			log.Fatal(err)
 		}
-		scenarios, err := cli.ParseScenarioFile(doc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sc, err := cli.FindScenario(scenarios, *scenarioName)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sc.ApplyTo(study); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("chaos scenario %s: %d fault entries overlaid\n", sc.Name, len(sc.Faults))
+		fmt.Printf("campaign %s: valid\nfingerprint %s\n", cfg.Name, loki.CampaignFileFingerprint(cfg))
+		return
 	}
-	c := &loki.Campaign{
-		Name:    "lokirun",
-		Hosts:   cli.HostsFor(nodes, *seed),
-		Studies: []*loki.Study{study},
-		Workers: *workers,
-		Sync:    loki.SyncConfig{Messages: 12, Transit: 25 * time.Microsecond},
+
+	var opts []loki.Option
+	if *workers != 0 {
+		opts = append(opts, loki.WithWorkers(*workers))
 	}
-	c.Checkpoint = checkpoint
-	out, err := loki.RunCampaign(c)
+	if *transportK != "" {
+		opts = append(opts, loki.WithTransport(*transportK))
+	}
+	if *outDir != "" {
+		opts = append(opts, loki.WithArtifacts(*outDir))
+	}
+	if *resume {
+		dir := *outDir
+		if dir == "" && cfg.Checkpoint != nil {
+			dir = cfg.Checkpoint.Dir
+		}
+		if dir == "" {
+			log.Fatal("-resume requires -out or a checkpoint dir in the campaign file (the journal lives in the artifact directory)")
+		}
+		opts = append(opts, loki.WithCheckpoint(dir, true))
+	}
+	s, err := loki.Open(cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 
-	sr := out.Study("study1")
-	fmt.Printf("study %s: %d experiments, acceptance rate %.2f\n",
-		sr.Name, len(sr.Records), sr.AcceptanceRate())
-	for _, rec := range sr.Records {
-		fmt.Printf("experiment %d: completed=%v accepted=%v\n", rec.Index, rec.Completed, rec.Accepted)
-		if rec.AnalysisError != "" {
-			fmt.Printf("  discarded by analysis: %s\n", rec.AnalysisError)
+	if *status {
+		st, err := s.Status()
+		if err != nil {
+			log.Fatal(err)
 		}
-		if rec.ClockStepSuspected {
-			fmt.Printf("  clock step suspected on hosts %v (sync mini-phases disagree)\n", rec.ClockStepHosts)
-		}
-		if rec.Report != nil {
-			for _, chk := range rec.Report.Injections {
-				fmt.Printf("  %s on %s at %v: correct=%v\n", chk.Fault, chk.Machine, chk.At, chk.Correct)
-			}
-			for _, miss := range rec.Report.MissingFaults {
-				fmt.Printf("  expected but missing: %s\n", miss)
-			}
-		}
-		if *outDir != "" && rec.Global != nil {
-			if err := writeArtifacts(*outDir, rec); err != nil {
-				log.Fatal(err)
-			}
-		}
+		printStatus(st)
+		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	res, err := s.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
 	if *outDir != "" {
 		fmt.Printf("artifacts written under %s\n", *outDir)
 	}
 }
 
-func writeArtifacts(dir string, rec *loki.ExperimentRecord) error {
-	expDir := filepath.Join(dir, fmt.Sprintf("exp%03d", rec.Index))
-	if err := os.MkdirAll(expDir, 0o755); err != nil {
-		return err
+// flagForm carries the thesis-era flags that assemble a campaign file in
+// memory — the same schema -config loads from disk.
+type flagForm struct {
+	nodes, faults, scenarios, scenario, app string
+	experiments                             int
+	runFor, dormancy                        time.Duration
+	restart                                 bool
+	seed                                    int64
+}
+
+// loadOrAssemble returns the campaign description: loaded from -config,
+// or assembled from the classic node/fault/scenario files.
+func loadOrAssemble(path string, f flagForm) (*loki.CampaignFile, error) {
+	if path != "" {
+		return loki.LoadCampaignFile(path)
 	}
-	// Global timeline.
-	f, err := os.Create(filepath.Join(expDir, "global.timeline"))
+	cfg, err := config.AssembleClassicFiles("lokirun", f.nodes, f.faults, config.ClassicOptions{
+		StudyName:   "study1",
+		App:         f.app,
+		Experiments: f.experiments,
+		Seed:        f.seed,
+		RunFor:      f.runFor,
+		Dormancy:    f.dormancy,
+		Restart:     f.restart,
+	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := analysis.Encode(f, rec.Global); err != nil {
-		f.Close()
-		return err
+	if f.scenario != "" || f.scenarios != "" {
+		if f.scenario == "" || f.scenarios == "" {
+			return nil, fmt.Errorf("-scenario and -scenarios must be given together")
+		}
+		doc, err := os.ReadFile(f.scenarios)
+		if err != nil {
+			return nil, fmt.Errorf("reading scenario file: %w", err)
+		}
+		scs, err := config.ParseScenarioFile(string(doc))
+		if err != nil {
+			return nil, err
+		}
+		sc, err := config.FindScenario(scs, f.scenario)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Studies[0].Faults = append(cfg.Studies[0].Faults, sc.Faults...)
+		fmt.Printf("chaos scenario %s: %d fault entries overlaid\n", sc.Name, len(sc.Faults))
 	}
-	if err := f.Close(); err != nil {
-		return err
+	return cfg, nil
+}
+
+// printResult renders the acceptance summary for a studies campaign or a
+// matrix.
+func printResult(res *loki.SessionResult) {
+	if res.Campaign != nil {
+		for _, sr := range res.Campaign.Studies {
+			fmt.Printf("study %s: %d experiments, acceptance rate %.2f\n",
+				sr.Name, len(sr.Records), sr.AcceptanceRate())
+			for _, rec := range sr.Records {
+				printRecord(rec)
+			}
+		}
 	}
-	// Alphabeta bounds.
-	f, err = os.Create(filepath.Join(expDir, "alphabeta.txt"))
-	if err != nil {
-		return err
+	if res.Matrix != nil {
+		fmt.Printf("matrix %s: %d points\n", res.Matrix.Name, len(res.Matrix.Points))
+		for _, pr := range res.Matrix.Points {
+			if pr == nil || pr.Study == nil {
+				continue
+			}
+			fmt.Printf("point %-32s accepted %d/%d\n",
+				pr.Point.Name(), len(pr.Study.AcceptedGlobals()), len(pr.Study.Records))
+		}
+		accepted, total := res.Matrix.AcceptedTotal()
+		fmt.Printf("accepted %d/%d experiments\n", accepted, total)
 	}
-	if err := clocksync.EncodeAlphaBeta(f, rec.Global.Reference, rec.Bounds); err != nil {
-		f.Close()
-		return err
+}
+
+func printRecord(rec *loki.ExperimentRecord) {
+	fmt.Printf("experiment %d: completed=%v accepted=%v\n", rec.Index, rec.Completed, rec.Accepted)
+	if rec.AnalysisError != "" {
+		fmt.Printf("  discarded by analysis: %s\n", rec.AnalysisError)
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if rec.ClockStepSuspected {
+		fmt.Printf("  clock step suspected on hosts %v (sync mini-phases disagree)\n", rec.ClockStepHosts)
 	}
-	// Verdict.
-	verdict := "rejected"
-	if rec.Accepted {
-		verdict = "accepted"
+	if rec.Report != nil {
+		for _, chk := range rec.Report.Injections {
+			fmt.Printf("  %s on %s at %v: correct=%v\n", chk.Fault, chk.Machine, chk.At, chk.Correct)
+		}
+		for _, miss := range rec.Report.MissingFaults {
+			fmt.Printf("  expected but missing: %s\n", miss)
+		}
 	}
-	return os.WriteFile(filepath.Join(expDir, "verdict.txt"), []byte(verdict+"\n"), 0o644)
+}
+
+// printStatus renders the checkpoint-journal summary.
+func printStatus(st *loki.SessionStatus) {
+	fmt.Printf("journal %s\n", st.JournalPath)
+	fmt.Printf("campaign %q fingerprint %s", st.Campaign, st.Fingerprint)
+	if st.FingerprintMatch {
+		fmt.Printf(" (matches this configuration)\n")
+	} else {
+		fmt.Printf(" (DOES NOT match this configuration; -resume would refuse it)\n")
+	}
+	if st.Torn {
+		fmt.Println("journal tail is torn (crash mid-append); counts cover the intact prefix")
+	}
+	fmt.Printf("%-32s %9s %9s %9s %9s\n", "point", "expected", "complete", "missing", "accepted")
+	for _, p := range st.Points {
+		fmt.Printf("%-32s %9d %9d %9d %9d\n", p.Point, p.Expected, p.Complete, p.Missing(), p.Accepted)
+	}
+	expected, complete, accepted := st.Totals()
+	// Missing sums the per-point floors: a journal holding more than the
+	// configuration expects (renamed study, reduced count) must not
+	// print a negative number.
+	missing := 0
+	for _, p := range st.Points {
+		missing += p.Missing()
+	}
+	fmt.Printf("total: %d/%d complete, %d missing, accept rate %.2f (%d accepted)\n",
+		complete, expected, missing, st.AcceptRate(), accepted)
 }

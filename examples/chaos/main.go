@@ -1,5 +1,6 @@
 // Command chaos runs the election application under the chaos subsystem's
-// scenario matrix: one configuration fans out into
+// scenario matrix, driven entirely by the declarative campaign file
+// checked in next to it: campaign.json fans one configuration out into
 // {scenarios × latency profiles × seeds} studies, every experiment passing
 // through the full pipeline (sync mini-phases, runtime phase, analysis).
 //
@@ -20,104 +21,45 @@
 // depends on — then estimates recovery coverage for the crashrestart
 // scenario: of the accepted experiments where green crashed, in how many
 // did it restart?
+//
+// The same file drives the command-line pipeline:
+//
+//	lokirun -config examples/chaos/campaign.json
 package main
 
 import (
+	"context"
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
 
 	loki "repro"
-	"repro/internal/apps/election"
 	"repro/internal/measure"
 	"repro/internal/observation"
 	"repro/internal/predicate"
 )
 
-var peers = []string{"black", "green", "yellow"}
-
-// scenarioDoc holds the chaos scenarios in the spec-file syntax (the same
-// format cmd/lokirun's -scenarios flag reads).
-const scenarioDoc = `
-black bsplit (black:LEAD) once partition(h1|h2,h3) 40ms
-green gsplit (green:LEAD) once partition(h2|h1,h3) 40ms
-yellow ysplit (yellow:LEAD) once partition(h3|h1,h2) 40ms
-`
-
-const flakyDoc = `
-black bflaky (black:ELECT) once drop(*,*,0.25) 30ms
-`
-
-const crashDoc = `
-green gcrash (green:LEAD) once crashrestart(h2,15ms)
-`
-
-func mustFaults(doc string) []loki.ScenarioFault {
-	sf, err := loki.ParseScenarioFaults(doc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return sf
-}
-
-// buildStudy constructs a fresh election study for one matrix point; the
-// point seed drives the vote randomness, so a point is reproducible.
-func buildStudy(p loki.MatrixPoint) (*loki.Study, error) {
-	var nodes []loki.NodeDef
-	for i, nick := range peers {
-		in := election.New(election.Config{
-			Peers:  peers,
-			RunFor: 100 * time.Millisecond,
-			Seed:   p.Seed + int64(i)*13,
-		})
-		nodes = append(nodes, loki.NodeDef{
-			Nickname: nick,
-			Spec:     election.SpecFor(nick, peers),
-			App:      in,
-		})
-	}
-	return &loki.Study{
-		Nodes:       nodes,
-		Experiments: 4,
-		Timeout:     10 * time.Second,
-		Placement: []loki.NodeEntry{
-			{Nickname: "black", Host: "h1"},
-			{Nickname: "green", Host: "h2"},
-			{Nickname: "yellow", Host: "h3"},
-		},
-	}, nil
-}
+//go:embed campaign.json
+var campaignJSON []byte
 
 func runMatrix() *loki.MatrixOutcome {
-	m := &loki.Matrix{
-		Name: "election-chaos",
-		Scenarios: []loki.Scenario{
-			{Name: "baseline"},
-			{Name: "netsplit", Faults: mustFaults(scenarioDoc)},
-			{Name: "flaky", Faults: mustFaults(flakyDoc)},
-			{Name: "crashrestart", Faults: mustFaults(crashDoc)},
-		},
-		Latencies: []loki.LatencyProfile{
-			{Name: "lan", Local: 20 * time.Microsecond, Remote: 150 * time.Microsecond},
-			{Name: "slow", Local: 40 * time.Microsecond, Remote: 2 * time.Millisecond},
-		},
-		Seeds: []int64{1, 2},
-		Build: buildStudy,
-	}
-	c := &loki.Campaign{
-		Name: "election-chaos",
-		Hosts: []loki.HostDef{
-			{Name: "h1", Clock: loki.ClockConfig{}},
-			{Name: "h2", Clock: loki.ClockConfig{Offset: 5e6, DriftPPM: 80}},
-			{Name: "h3", Clock: loki.ClockConfig{Offset: -2e6, DriftPPM: -45}},
-		},
-		Sync: loki.SyncConfig{Messages: 10, Transit: 25 * time.Microsecond},
-	}
-	out, err := loki.RunMatrix(c, m)
+	cfg, err := loki.ParseCampaignFile(campaignJSON)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return out
+	// Every Open builds fresh application instances, so back-to-back runs
+	// share no state — only the file and its seeds.
+	s, err := loki.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Matrix
 }
 
 // acceptedSets renders each point's accepted experiment indexes, the
@@ -158,8 +100,8 @@ func main() {
 	fmt.Printf("accepted %d/%d experiments in %.1fs (%.1f experiments/sec)\n\n",
 		accepted, total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
 
-	// Determinism: the same matrix with the same seeds must accept the
-	// same experiment sets.
+	// Determinism: the same campaign file with the same seeds must accept
+	// the same experiment sets.
 	again := acceptedSets(runMatrix())
 	first := acceptedSets(out)
 	identical := len(first) == len(again)
@@ -172,7 +114,9 @@ func main() {
 	fmt.Printf("same seeds => identical accepted sets: %v\n\n", identical)
 
 	// Recovery coverage for the crashrestart scenario: of the accepted
-	// experiments in which green crashed, how many saw it restart?
+	// experiments in which green crashed, how many saw it restart? The
+	// second triple's observation is a custom Go callback, which is what
+	// keeps this measure in code rather than in the campaign file.
 	covMeasure, err := measure.NewStudyMeasure("crash-recovery",
 		measure.Triple{
 			Select: measure.Default{},

@@ -1,5 +1,6 @@
 // Command election reproduces the thesis's Chapter 5 fault injection
-// campaign on the leader election test application: three processes
+// campaign on the leader election test application, driven by the
+// declarative campaign file checked in next to it: three processes
 // (black, green, yellow) elect a leader; each carries a crash fault on its
 // own LEAD state (§5.4's bfault1/gfault1/yfault1), so whichever process the
 // election picks gets killed; a supervisor restarts crashed processes; and
@@ -9,84 +10,43 @@
 // Two studies run: study1 injects the faults (§5.8's studies 1-3 merged)
 // and study0 is the fault-free baseline. The per-machine coverages are
 // combined with assumed fault occurrence rates by the stratified weighted
-// estimator.
+// estimator. The campaign file also declares a simple measure
+// (crash-durations) in the schema's predicate/observation notation; the
+// coverage measures need custom Go observation callbacks and stay in code.
 package main
 
 import (
+	"context"
+	_ "embed"
 	"fmt"
 	"log"
-	"time"
 
 	loki "repro"
-	"repro/internal/apps/election"
-	"repro/internal/faultexpr"
 	"repro/internal/measure"
 	"repro/internal/observation"
 	"repro/internal/predicate"
 )
 
+//go:embed campaign.json
+var campaignJSON []byte
+
 var peers = []string{"black", "green", "yellow"}
 
-func electionStudy(name string, withFault bool, experiments int, seed int64) *loki.Study {
-	var nodes []loki.NodeDef
-	for i, nick := range peers {
-		in := election.New(election.Config{
-			Peers:  peers,
-			RunFor: 100 * time.Millisecond,
-			Seed:   seed + int64(i)*13,
-		})
-		var faults []loki.FaultSpec
-		if withFault {
-			// §5.8's studies 1-3 merged: each machine carries a crash fault
-			// on its own LEAD state (bfault1/gfault1/yfault1).
-			name := string(nick[0]) + "fault1"
-			faults = []loki.FaultSpec{{
-				Name: name,
-				Expr: faultexpr.MustParse("(" + nick + ":LEAD)"),
-				Mode: loki.Once,
-			}}
-			// Dormancy (§1.1) between injection and the crash error.
-			in.On(name, loki.DelayedCrashFault(10*time.Millisecond, 2*time.Millisecond, seed))
-		}
-		nodes = append(nodes, loki.NodeDef{
-			Nickname: nick,
-			Spec:     election.SpecFor(nick, peers),
-			Faults:   faults,
-			App:      in,
-		})
-	}
-	return &loki.Study{
-		Name:        name,
-		Nodes:       nodes,
-		Experiments: experiments,
-		Timeout:     10 * time.Second,
-		Placement: []loki.NodeEntry{
-			{Nickname: "black", Host: "h1"},
-			{Nickname: "green", Host: "h2"},
-			{Nickname: "yellow", Host: "h3"},
-		},
-		Restarts: &loki.RestartPolicy{After: 5 * time.Millisecond, MaxPerNode: 1},
-	}
-}
-
 func main() {
-	c := &loki.Campaign{
-		Name: "ch5-election",
-		Hosts: []loki.HostDef{
-			{Name: "h1", Clock: loki.ClockConfig{}},
-			{Name: "h2", Clock: loki.ClockConfig{Offset: 5e6, DriftPPM: 80}},
-			{Name: "h3", Clock: loki.ClockConfig{Offset: -2e6, DriftPPM: -45}},
-		},
-		Studies: []*loki.Study{
-			electionStudy("study1", true, 6, 1),
-			electionStudy("study0", false, 3, 100),
-		},
-		Sync: loki.SyncConfig{Messages: 10, Transit: 25 * time.Microsecond},
-	}
-	out, err := loki.RunCampaign(c)
+	cfg, err := loki.ParseCampaignFile(campaignJSON)
 	if err != nil {
 		log.Fatal(err)
 	}
+	s, err := loki.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := res.Campaign
 
 	for _, study := range out.Studies {
 		fmt.Printf("study %s: %d experiments, acceptance rate %.2f\n",
@@ -101,6 +61,23 @@ func main() {
 			fmt.Printf("  exp %d: completed=%v accepted=%v%s\n",
 				rec.Index, rec.Completed, rec.Accepted, verdicts)
 		}
+	}
+	accepted := out.Study("study1").AcceptedGlobals()
+
+	// The campaign file's declarative measure: how long was black crashed
+	// in each accepted experiment?
+	fileMeasures, err := loki.CampaignFileMeasures(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fm := range fileMeasures {
+		values := fm.ApplyAll(accepted)
+		if len(values) == 0 {
+			continue
+		}
+		stats := loki.ComputeMoments(values)
+		fmt.Printf("\nfile measure %s: mean %.3fms over %d experiments\n",
+			fm.Name, stats.Mean()/1e6, stats.N)
 	}
 
 	// §5.8 coverage measure: black crashed; was it restarted?
@@ -117,7 +94,6 @@ func main() {
 			return 0
 		},
 	}
-	accepted := out.Study("study1").AcceptedGlobals()
 	var perMachine []float64
 	var rates []float64
 	machineRates := map[string]float64{"black": 3, "green": 2, "yellow": 1}

@@ -1,96 +1,51 @@
-// Command transport demonstrates the pluggable transport subsystem: the
-// same election-under-partition study runs on the in-process bus (one
-// runtime, direct calls), then clustered over UDP and TCP loopback
-// sockets — one runtime per virtual host, state notifications and
-// application-bus messages framed onto real sockets, chaos partitions
-// replicated to every endpoint — and the accepted/rejected experiment
-// verdicts must agree transport for transport.
+// Command transport demonstrates the pluggable transport subsystem
+// through the Session API: the same election-under-partition campaign
+// file runs on the in-process bus (one runtime, direct calls), then
+// clustered over UDP and TCP loopback sockets — one runtime per virtual
+// host, state notifications and application-bus messages framed onto real
+// sockets, chaos partitions replicated to every endpoint — and the
+// accepted/rejected experiment verdicts must agree transport for
+// transport. The transport is the only thing that changes between runs:
+//
+//	loki.Open(cfg, loki.WithTransport(kind))
 //
 // The clustered topology here lives in one OS process so the program is
-// self-contained; cmd/lokid's -listen/-peers flags put each endpoint in
-// its own OS process with exactly the same protocol (the program prints
-// the command lines).
+// self-contained; cmd/lokid's cluster flags put each endpoint in its own
+// OS process with exactly the same protocol (the program prints the
+// command lines).
 package main
 
 import (
+	"context"
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
 
 	loki "repro"
-	"repro/internal/apps/election"
 )
 
-var (
-	peers = []string{"black", "green", "yellow"}
-	hosts = []string{"h1", "h2", "h3"}
-)
-
-const scenarioDoc = `
-black bsplit (black:LEAD) once partition(h1|h2,h3) 30ms
-green gsplit (green:LEAD) once partition(h2|h1,h3) 30ms
-yellow ysplit (yellow:LEAD) once partition(h3|h1,h2) 30ms
-`
-
-// buildCampaign assembles a fresh campaign per run: node definitions
-// (application instances included) must be private to each engine.
-func buildCampaign(kind string) *loki.Campaign {
-	var nodes []loki.NodeDef
-	var placement []loki.NodeEntry
-	for i, nick := range peers {
-		in := election.New(election.Config{
-			Peers:  peers,
-			RunFor: 80 * time.Millisecond,
-			Seed:   11 + int64(i)*13,
-		})
-		nodes = append(nodes, loki.NodeDef{
-			Nickname: nick,
-			Spec:     election.SpecFor(nick, peers),
-			App:      in,
-		})
-		placement = append(placement, loki.NodeEntry{Nickname: nick, Host: hosts[i]})
-	}
-	st := &loki.Study{
-		Name:        "election",
-		Nodes:       nodes,
-		Placement:   placement,
-		Experiments: 4,
-		Timeout:     10 * time.Second,
-		ChaosSeed:   11,
-		Transport:   kind,
-	}
-	faults, err := loki.ParseScenarioFaults(scenarioDoc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := (loki.Scenario{Name: "netsplit", Faults: faults}).ApplyTo(st); err != nil {
-		log.Fatal(err)
-	}
-	return &loki.Campaign{
-		Name: "transport-demo",
-		Hosts: []loki.HostDef{
-			{Name: "h1", Clock: loki.ClockConfig{}},
-			{Name: "h2", Clock: loki.ClockConfig{Offset: 5e6, DriftPPM: 80}},
-			{Name: "h3", Clock: loki.ClockConfig{Offset: -2e6, DriftPPM: -45}},
-		},
-		Studies: []*loki.Study{st},
-		Sync:    loki.SyncConfig{Messages: 10, Transit: 25 * time.Microsecond},
-	}
-}
+//go:embed campaign.json
+var campaignJSON []byte
 
 func runOn(kind string) []bool {
-	label := kind
-	if label == "" {
-		label = "inproc"
+	cfg, err := loki.ParseCampaignFile(campaignJSON)
+	if err != nil {
+		log.Fatal(err)
 	}
 	start := time.Now()
-	out, err := loki.RunCampaign(buildCampaign(kind))
+	s, err := loki.Open(cfg, loki.WithTransport(kind))
 	if err != nil {
-		log.Fatalf("transport %s: %v", label, err)
+		log.Fatalf("transport %s: %v", kind, err)
 	}
-	sr := out.Study("election")
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatalf("transport %s: %v", kind, err)
+	}
+	sr := res.Campaign.Study("election")
 	verdicts := make([]bool, len(sr.Records))
-	fmt.Printf("%-6s  ", label)
+	fmt.Printf("%-6s  ", kind)
 	for i, rec := range sr.Records {
 		verdicts[i] = rec.Accepted
 		v := "rejected"
@@ -106,7 +61,7 @@ func runOn(kind string) []bool {
 func main() {
 	log.SetFlags(0)
 	fmt.Println("election under netsplit, 4 experiments per transport:")
-	inproc := runOn("")
+	inproc := runOn(loki.TransportInproc)
 	udp := runOn(loki.TransportUDP)
 	tcp := runOn(loki.TransportTCP)
 
@@ -119,11 +74,11 @@ func main() {
 	fmt.Println("verdict parity: in-process, UDP, and TCP agree on every experiment")
 
 	fmt.Println("\nthe same study across real OS processes:")
-	fmt.Println(`  lokid -nodes nodes.txt -faults faults.txt -transport udp \
+	fmt.Println(`  lokid -config campaign.json -transport udp \
         -name alpha -listen 127.0.0.1:7101 \
         -peers 'alpha=127.0.0.1:7101,beta=127.0.0.1:7102' \
         -owners 'h1=alpha,h2=beta,h3=beta' -out out &
-  lokid -nodes nodes.txt -faults faults.txt -transport udp \
+  lokid -config campaign.json -transport udp \
         -name beta -listen 127.0.0.1:7102 \
         -peers 'alpha=127.0.0.1:7101,beta=127.0.0.1:7102' \
         -owners 'h1=alpha,h2=beta,h3=beta'`)

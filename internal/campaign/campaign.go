@@ -8,6 +8,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -169,14 +170,39 @@ func (r *Result) Study(name string) *StudyResult {
 	return nil
 }
 
-// Run executes the campaign: every experiment of every study, runtime
-// phase through analysis phase.
-func Run(c *Campaign) (*Result, error) {
+// ValidateWorkers rejects a negative worker-pool size. Zero means "default
+// to GOMAXPROCS" and stays legal; a negative count was previously clamped
+// silently, hiding sign bugs in callers' pool arithmetic.
+func ValidateWorkers(workers int) error {
+	if workers < 0 {
+		return fmt.Errorf("campaign: Workers is %d; it must be positive, or 0 for GOMAXPROCS", workers)
+	}
+	return nil
+}
+
+// ValidateExperiments rejects a non-positive experiment count up front. A
+// study that says how many experiments to run must say a positive number;
+// the old silent default of 1 hid dropped configuration.
+func ValidateExperiments(study string, experiments int) error {
+	if experiments <= 0 {
+		return fmt.Errorf("campaign: study %q: Experiments is %d; it must be positive", study, experiments)
+	}
+	return nil
+}
+
+// Validate checks the campaign's configuration before any experiment runs:
+// hosts and studies present, study names unique, worker and experiment
+// counts sane. Run performs the same checks; config.Validate applies the
+// same count rules to campaign files.
+func Validate(c *Campaign) error {
 	if len(c.Hosts) == 0 {
-		return nil, fmt.Errorf("campaign: no hosts defined")
+		return fmt.Errorf("campaign: no hosts defined")
 	}
 	if len(c.Studies) == 0 {
-		return nil, fmt.Errorf("campaign: no studies defined")
+		return fmt.Errorf("campaign: no studies defined")
+	}
+	if err := ValidateWorkers(c.Workers); err != nil {
+		return err
 	}
 	// Duplicate study names would shadow each other in Result.Study and
 	// collide in the checkpoint journal's record keys: fail at start,
@@ -184,9 +210,48 @@ func Run(c *Campaign) (*Result, error) {
 	names := make(map[string]bool, len(c.Studies))
 	for _, st := range c.Studies {
 		if names[st.Name] {
-			return nil, fmt.Errorf("campaign: duplicate study name %q", st.Name)
+			return fmt.Errorf("campaign: duplicate study name %q", st.Name)
 		}
 		names[st.Name] = true
+		if err := ValidateExperiments(st.Name, st.Experiments); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// watchContext runs onCancel (once) when ctx is cancelled. The returned
+// stop function joins the watcher, guaranteeing onCancel either already
+// ran or never will — the happens-before edge the callers need before
+// reading state onCancel writes.
+func watchContext(ctx context.Context, onCancel func()) (stop func()) {
+	stopCh := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			onCancel()
+		case <-stopCh:
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-exited
+	}
+}
+
+// Run executes the campaign: every experiment of every study, runtime
+// phase through analysis phase.
+func Run(c *Campaign) (*Result, error) { return RunContext(context.Background(), c) }
+
+// RunContext is Run with cancellation: when ctx is cancelled, no further
+// experiments are dispatched, in-flight experiments drain (a runtime phase
+// is never interrupted mid-experiment; clustered studies are quit at the
+// protocol level), and the first error returned is ctx.Err().
+func RunContext(ctx context.Context, c *Campaign) (*Result, error) {
+	if err := Validate(c); err != nil {
+		return nil, err
 	}
 	j, err := openCampaignJournal(c)
 	if err != nil {
@@ -195,7 +260,10 @@ func Run(c *Campaign) (*Result, error) {
 	defer j.Close()
 	res := &Result{Name: c.Name}
 	for _, st := range c.Studies {
-		sr, err := runStudyOn(c, st, j.study(c, st, st.Name))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sr, err := runStudyOn(ctx, c, st, j.study(c, st, st.Name))
 		if err != nil {
 			return nil, fmt.Errorf("campaign: study %q: %w", st.Name, err)
 		}
@@ -210,11 +278,11 @@ func Run(c *Campaign) (*Result, error) {
 // message over a real loopback socket, experiments in sequence
 // (Workers=1 per process). RunMatrix routes its points through here too,
 // so a requested transport is never silently downgraded.
-func runStudyOn(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
+func runStudyOn(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
 	if st.Transport != "" && st.Transport != "inproc" {
-		return runClustered(c, st, st.Transport, sj)
+		return runClustered(ctx, c, st, st.Transport, sj)
 	}
-	return runStudy(c, st, sj)
+	return runStudy(ctx, c, st, sj)
 }
 
 // RunSingle executes exactly one experiment of the campaign's first study
@@ -228,8 +296,18 @@ func runStudyOn(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) 
 // runStudyOn. With a Checkpoint configured, a completed experiment in the
 // journal is returned (artifacts included) without rerunning.
 func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
+	return RunSingleContext(context.Background(), c)
+}
+
+// RunSingleContext is RunSingle with cancellation: a clustered experiment
+// is quit at the protocol level; an in-process one is not started when ctx
+// is already done (a single runtime phase is never interrupted midway).
+func RunSingleContext(ctx context.Context, c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
 	if len(c.Hosts) == 0 || len(c.Studies) == 0 {
 		return nil, nil, nil, fmt.Errorf("campaign: need hosts and a study")
+	}
+	if err := ValidateWorkers(c.Workers); err != nil {
+		return nil, nil, nil, err
 	}
 	st := c.Studies[0]
 	j, err := openCampaignJournal(c)
@@ -253,7 +331,7 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 		err := withLoopbackCluster(c, st, st.Transport, func(coordinator *Member) error {
 			coordinator.sj = sj
 			var err error
-			rec, stamps, locals, err = coordinator.RunOne()
+			rec, stamps, locals, err = coordinator.RunOneContext(ctx)
 			return err
 		})
 		if err != nil {
@@ -262,6 +340,9 @@ func RunSingle(c *Campaign) (*ExperimentRecord, []clocksync.StampedMessage, []*t
 		return rec, stamps, locals, nil
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 	timeout := st.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
@@ -355,10 +436,14 @@ func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon
 // With a journal, experiments already journaled are loaded instead of
 // re-executed, and each freshly analyzed record is appended as it
 // completes — a killed study resumes at the first missing index.
-func runStudy(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
+//
+// Cancelling ctx stops dispatching further experiment indexes; in-flight
+// runtime phases finish (journaling their records, so a resumed run loses
+// nothing) and ctx.Err() is returned.
+func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
 	experiments := st.Experiments
-	if experiments <= 0 {
-		experiments = 1
+	if err := ValidateExperiments(st.Name, experiments); err != nil {
+		return nil, err
 	}
 	timeout := st.Timeout
 	if timeout <= 0 {
@@ -410,6 +495,12 @@ func runStudy(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
 			return false
 		}
 	}
+	// Cancellation is NOT a failure: it only stops the dispatcher, so
+	// every in-flight runtime phase still finishes, is analyzed, and is
+	// journaled (a resumed run loses nothing), and ctx.Err() surfaces at
+	// the end. Real failures close done and drop queued work.
+	stopDispatch := make(chan struct{})
+	stopWatch := watchContext(ctx, func() { close(stopDispatch) })
 
 	idxCh := make(chan int)
 	go func() {
@@ -418,6 +509,8 @@ func runStudy(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
 			select {
 			case idxCh <- i:
 			case <-done:
+				return
+			case <-stopDispatch:
 				return
 			}
 		}
@@ -476,9 +569,15 @@ func runStudy(c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
 		}()
 	}
 	anWG.Wait()
+	stopWatch()
 
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	// A cancelled study surfaces ctx.Err() — after the drain above has
+	// journaled everything that was in flight.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return &StudyResult{Name: st.Name, Records: records}, nil
 }

@@ -2,10 +2,12 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/chaos"
@@ -121,8 +123,9 @@ type Member struct {
 	// from the campaign's Checkpoint in RunStudy/RunOne.
 	sj *studyJournal
 
-	inbox chan transport.Message
-	quit  chan struct{} // closed by Quit; unblocks Serve without a frame
+	inbox    chan transport.Message
+	quit     chan struct{} // closed by Quit; unblocks Serve without a frame
+	quitOnce sync.Once
 }
 
 // NewMember builds one endpoint's runtime for the study: the campaign
@@ -217,11 +220,21 @@ func (m *Member) Close() { m.rt.Shutdown() }
 // Quit unblocks Serve without a stop frame — the in-process runner's
 // shutdown path, where a lost datagram must not wedge the study.
 func (m *Member) Quit() {
-	select {
-	case <-m.quit:
-	default:
-		close(m.quit)
-	}
+	m.quitOnce.Do(func() { close(m.quit) })
+}
+
+// quitOnCancel quits the member when ctx is cancelled; the returned stop
+// function joins the watch.
+func (m *Member) quitOnCancel(ctx context.Context) (stop func()) {
+	return watchContext(ctx, m.Quit)
+}
+
+// ServeContext is Serve with cancellation: non-coordinator members follow
+// the protocol until a stop frame, Quit, or ctx cancellation.
+func (m *Member) ServeContext(ctx context.Context) error {
+	stopWatch := m.quitOnCancel(ctx)
+	defer stopWatch()
+	return m.Serve()
 }
 
 // hook receives the transport frames core does not consume. Sync pings
@@ -514,6 +527,17 @@ func (m *Member) ensureJournal() (func(), error) {
 // records are journaled as their analysis completes, so a crashed
 // coordinator resumes at the first missing experiment.
 func (m *Member) RunStudy() (*StudyResult, error) {
+	return m.RunStudyContext(context.Background())
+}
+
+// RunStudyContext is RunStudy with cancellation: when ctx is cancelled the
+// member protocol is quit (awaits unblock immediately, like a SIGINT
+// drain), no further experiments start, and ctx.Err() is returned.
+// Completed experiments are already journaled, so a resumed run picks up
+// at the first missing index.
+func (m *Member) RunStudyContext(ctx context.Context) (*StudyResult, error) {
+	stopWatch := m.quitOnCancel(ctx)
+	defer stopWatch()
 	closeJournal, err := m.ensureJournal()
 	if err != nil {
 		return nil, err
@@ -521,12 +545,15 @@ func (m *Member) RunStudy() (*StudyResult, error) {
 	defer closeJournal()
 	defer m.stopCluster()
 	experiments := m.st.Experiments
-	if experiments <= 0 {
-		experiments = 1
+	if err := ValidateExperiments(m.st.Name, experiments); err != nil {
+		return nil, err
 	}
 	records := make([]*ExperimentRecord, experiments)
 	executed := false
 	for i := 0; i < experiments; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if rec, err := m.sj.lookup(i); err != nil {
 			return nil, err
 		} else if rec != nil {
@@ -558,6 +585,14 @@ func (m *Member) RunStudy() (*StudyResult, error) {
 // Checkpoint, a journaled experiment is returned — raw artifacts included,
 // so the caller can still write its files — without touching the cluster.
 func (m *Member) RunOne() (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
+	return m.RunOneContext(context.Background())
+}
+
+// RunOneContext is RunOne with cancellation (the member protocol is quit
+// when ctx is cancelled).
+func (m *Member) RunOneContext(ctx context.Context) (*ExperimentRecord, []clocksync.StampedMessage, []*timeline.Local, error) {
+	stopWatch := m.quitOnCancel(ctx)
+	defer stopWatch()
 	closeJournal, err := m.ensureJournal()
 	if err != nil {
 		return nil, nil, nil, err
@@ -919,22 +954,28 @@ func (m *Member) awaitPong(host string, seq int) (syncWire, bool) {
 // (and be raced) inside one test binary. cmd/lokid wires real OS
 // processes to the same Member protocol.
 func RunClustered(c *Campaign, st *Study, kind string) (*StudyResult, error) {
+	return RunClusteredContext(context.Background(), c, st, kind)
+}
+
+// RunClusteredContext is RunClustered with cancellation: the coordinator
+// quits the member protocol when ctx is cancelled.
+func RunClusteredContext(ctx context.Context, c *Campaign, st *Study, kind string) (*StudyResult, error) {
 	j, err := openCampaignJournal(c)
 	if err != nil {
 		return nil, err
 	}
 	defer j.Close()
-	return runClustered(c, st, kind, j.study(c, st, st.Name))
+	return runClustered(ctx, c, st, kind, j.study(c, st, st.Name))
 }
 
-// runClustered is RunClustered with the checkpoint binding handed down by
-// whichever engine already opened the journal (Run, RunMatrix).
-func runClustered(c *Campaign, st *Study, kind string, sj *studyJournal) (*StudyResult, error) {
+// runClustered is RunClusteredContext with the checkpoint binding handed
+// down by whichever engine already opened the journal (Run, RunMatrix).
+func runClustered(ctx context.Context, c *Campaign, st *Study, kind string, sj *studyJournal) (*StudyResult, error) {
 	var sr *StudyResult
 	err := withLoopbackCluster(c, st, kind, func(coordinator *Member) error {
 		coordinator.sj = sj
 		var err error
-		sr, err = coordinator.RunStudy()
+		sr, err = coordinator.RunStudyContext(ctx)
 		return err
 	})
 	return sr, err

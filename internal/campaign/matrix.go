@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -86,6 +87,8 @@ type Matrix struct {
 	// per point, possibly concurrently; it must return a study whose node
 	// definitions (application instances included) are private to the
 	// point. The point's seed should drive the applications' randomness.
+	// Every point must carry the same Experiments count — status queries
+	// materialize one point and trust it for the rest.
 	Build func(p Point) (*Study, error)
 }
 
@@ -209,8 +212,18 @@ func (r *MatrixResult) AcceptedTotal() (accepted, total int) {
 // every point, with the point's latency profile overriding the runtime's
 // notification delays.
 func RunMatrix(c *Campaign, m *Matrix) (*MatrixResult, error) {
+	return RunMatrixContext(context.Background(), c, m)
+}
+
+// RunMatrixContext is RunMatrix with cancellation: no further points are
+// dispatched after ctx is cancelled, in-flight points drain, and ctx.Err()
+// is returned.
+func RunMatrixContext(ctx context.Context, c *Campaign, m *Matrix) (*MatrixResult, error) {
 	if len(c.Hosts) == 0 {
 		return nil, fmt.Errorf("campaign: no hosts defined")
+	}
+	if err := ValidateWorkers(c.Workers); err != nil {
+		return nil, err
 	}
 	pts := m.Points()
 	// Duplicate point names — duplicate scenario/latency names or repeated
@@ -254,6 +267,11 @@ func RunMatrix(c *Campaign, m *Matrix) (*MatrixResult, error) {
 			close(done)
 		})
 	}
+	// Cancellation stops the point dispatcher like any first failure
+	// (in-flight points see the same ctx and drain their own experiments
+	// into the journal). The watcher is joined before firstErr is read —
+	// its fail() write has no other happens-before edge to that read.
+	stopWatch := watchContext(ctx, func() { fail(ctx.Err()) })
 	idxCh := make(chan int)
 	go func() {
 		defer close(idxCh)
@@ -285,7 +303,7 @@ func RunMatrix(c *Campaign, m *Matrix) (*MatrixResult, error) {
 				// is what fingerprints the journaled records: resuming with
 				// a changed profile must not reuse them.
 				pc := pointCampaign(c, m, p, innerW)
-				sr, err := runStudyOn(pc, st, j.study(pc, st, p.Name()))
+				sr, err := runStudyOn(ctx, pc, st, j.study(pc, st, p.Name()))
 				if err != nil {
 					fail(fmt.Errorf("campaign: matrix point %s: %w", p.Name(), err))
 					return
@@ -295,6 +313,7 @@ func RunMatrix(c *Campaign, m *Matrix) (*MatrixResult, error) {
 		}()
 	}
 	wg.Wait()
+	stopWatch()
 	if firstErr != nil {
 		return nil, firstErr
 	}

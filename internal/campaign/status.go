@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Read-only checkpoint-journal inspection: summarize what a campaign's
+// journal holds — per study/point, how many experiments are complete and
+// how many of those were accepted — without running anything and without
+// the load-time tail truncation (a status query must never modify the
+// journal a live campaign may be appending to).
+
+// PointProgress summarizes one study's (or matrix point's) journaled
+// records.
+type PointProgress struct {
+	// Point is the study or matrix point name the records are keyed by.
+	Point string
+	// Complete counts records whose fsync'd done marker survived.
+	Complete int
+	// Accepted counts complete records that passed the analysis phase.
+	Accepted int
+	// Fingerprint is the study-level fingerprint the point's records were
+	// written under (they all share one; resume verifies it per record).
+	Fingerprint string
+}
+
+// JournalSummary is the read-only summary of one checkpoint journal.
+type JournalSummary struct {
+	// Path is the journal file location.
+	Path string
+	// Campaign and Fingerprint echo the journal header: which campaign
+	// configuration wrote these records.
+	Campaign    string
+	Fingerprint string
+	// Points lists per-point progress, sorted by point name.
+	Points []PointProgress
+	// Torn reports that the journal ends in an incomplete or garbled tail
+	// (a crash mid-append); everything before it is still trusted.
+	Torn bool
+}
+
+// Complete sums complete records across points.
+func (s *JournalSummary) Complete() int {
+	n := 0
+	for _, p := range s.Points {
+		n += p.Complete
+	}
+	return n
+}
+
+// Accepted sums accepted records across points.
+func (s *JournalSummary) Accepted() int {
+	n := 0
+	for _, p := range s.Points {
+		n += p.Accepted
+	}
+	return n
+}
+
+// JournalPath returns the journal location under an artifact directory.
+func JournalPath(dir string) string { return filepath.Join(dir, journalName) }
+
+// SummarizeJournal reads the checkpoint journal under dir and summarizes
+// it. Only records followed by their completion marker are counted,
+// mirroring what a resume would trust; a torn tail sets Torn instead of
+// being truncated.
+func SummarizeJournal(dir string) (*JournalSummary, error) {
+	path := JournalPath(dir)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: status: %w", err)
+	}
+	defer f.Close()
+
+	var (
+		r       = bufio.NewReaderSize(f, 1<<20)
+		sum     = &JournalSummary{Path: path}
+		header  = false
+		pending = make(map[journalKey]*recordWire)
+		points  = make(map[string]*PointProgress)
+	)
+	for {
+		raw, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(raw) > 0 {
+				sum.Torn = true // no trailing newline: crash mid-append
+			}
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: status: reading journal: %w", err)
+		}
+		var line journalLine
+		if json.Unmarshal(raw, &line) != nil {
+			sum.Torn = true
+			break
+		}
+		if !header {
+			if line.Journal == nil {
+				return nil, fmt.Errorf("campaign: status: %s is not a checkpoint journal", path)
+			}
+			if line.Journal.Version != journalVersion {
+				return nil, fmt.Errorf("campaign: status: journal version %d, this build reads %d",
+					line.Journal.Version, journalVersion)
+			}
+			sum.Campaign = line.Journal.Campaign
+			sum.Fingerprint = line.Journal.Fingerprint
+			header = true
+			continue
+		}
+		switch {
+		case line.Record != nil:
+			w := line.Record.Experiment
+			pending[journalKey{line.Record.Point, line.Record.Index}] = &w
+			if p := points[line.Record.Point]; p == nil {
+				points[line.Record.Point] = &PointProgress{Point: line.Record.Point, Fingerprint: line.Record.Fingerprint}
+			}
+		case line.Done != nil:
+			key := *line.Done
+			w, ok := pending[key]
+			if !ok {
+				continue
+			}
+			delete(pending, key)
+			p := points[key.Point]
+			if p == nil {
+				p = &PointProgress{Point: key.Point}
+				points[key.Point] = p
+			}
+			p.Complete++
+			if w.Accepted {
+				p.Accepted++
+			}
+		default:
+			sum.Torn = true
+		}
+		if sum.Torn {
+			break
+		}
+	}
+	if len(pending) > 0 {
+		sum.Torn = true // records whose done marker never landed
+	}
+	for _, p := range points {
+		sum.Points = append(sum.Points, *p)
+	}
+	sort.Slice(sum.Points, func(i, j int) bool { return sum.Points[i].Point < sum.Points[j].Point })
+	return sum, nil
+}
+
+// ConfigFingerprint computes the campaign-level configuration fingerprint
+// journal headers carry — what a status query compares a summary against
+// to tell "this journal belongs to this configuration".
+func ConfigFingerprint(c *Campaign) string { return campaignFingerprint(c) }
+
+// StudyConfigFingerprint computes the study-level fingerprint record
+// lookups verify on resume — what a status query compares a point's
+// journaled Fingerprint against.
+func StudyConfigFingerprint(c *Campaign, st *Study, point string) string {
+	return studyFingerprint(c, st, point)
+}

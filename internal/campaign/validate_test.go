@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestValidateCounts: negative worker pools and non-positive experiment
+// counts are rejected up front with clear errors instead of being clamped.
+func TestValidateCounts(t *testing.T) {
+	c := stepCampaign(t, 1, 1)
+	c.Workers = -3
+	if _, err := Run(c); err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("negative workers: %v", err)
+	}
+	if _, err := RunMatrix(c, &Matrix{Name: "m", Build: func(Point) (*Study, error) { return stepStudy(t, 1), nil }}); err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("negative workers via matrix: %v", err)
+	}
+
+	c = stepCampaign(t, 1, 1)
+	c.Studies[0].Experiments = 0
+	if _, err := Run(c); err == nil || !strings.Contains(err.Error(), "Experiments") {
+		t.Errorf("zero experiments: %v", err)
+	}
+	c.Studies[0].Experiments = -4
+	if _, err := Run(c); err == nil || !strings.Contains(err.Error(), "Experiments") {
+		t.Errorf("negative experiments: %v", err)
+	}
+
+	// A matrix point whose built study carries a bad count fails too.
+	c = stepCampaign(t, 1, 1)
+	c.Studies = nil
+	m := &Matrix{Name: "m", Build: func(Point) (*Study, error) {
+		st := stepStudy(t, 1)
+		st.Experiments = 0
+		return st, nil
+	}}
+	if _, err := RunMatrix(c, m); err == nil || !strings.Contains(err.Error(), "Experiments") {
+		t.Errorf("zero experiments via matrix point: %v", err)
+	}
+}
+
+// TestRunContextCancelled: a cancelled context stops the dispatcher and
+// surfaces context.Canceled; an already-cancelled one runs nothing.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, stepCampaign(t, 4, 2)); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled RunContext error = %v, want context.Canceled", err)
+	}
+	if _, err := RunMatrixContext(ctx, stepCampaign(t, 1, 1), &Matrix{
+		Name:  "m",
+		Build: func(Point) (*Study, error) { return stepStudy(t, 1), nil },
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled RunMatrixContext error = %v, want context.Canceled", err)
+	}
+	if _, _, _, err := RunSingleContext(ctx, stepCampaign(t, 1, 1)); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled RunSingleContext error = %v, want context.Canceled", err)
+	}
+}
+
+// TestSummarizeJournalCounts: the read-only status reader reports the
+// complete and accepted records a resume would trust, and never modifies
+// the journal.
+func TestSummarizeJournalCounts(t *testing.T) {
+	dir := t.TempDir()
+	c := stepCampaign(t, 3, 1)
+	c.Checkpoint = &Checkpoint{Dir: dir}
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SummarizeJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Campaign != "steps" || sum.Fingerprint != ConfigFingerprint(c) {
+		t.Errorf("header: %q %s, want steps %s", sum.Campaign, sum.Fingerprint, ConfigFingerprint(c))
+	}
+	if sum.Torn {
+		t.Error("clean journal reported torn")
+	}
+	if len(sum.Points) != 1 || sum.Points[0].Point != "steps" {
+		t.Fatalf("points = %+v", sum.Points)
+	}
+	p := sum.Points[0]
+	if p.Complete != 3 || p.Accepted != 3 {
+		t.Errorf("progress = %+v", p)
+	}
+	if p.Fingerprint != StudyConfigFingerprint(c, c.Studies[0], "steps") {
+		t.Errorf("journaled study fingerprint = %s", p.Fingerprint)
+	}
+	if sum.Complete() != 3 || sum.Accepted() != 3 {
+		t.Errorf("totals = %d/%d", sum.Complete(), sum.Accepted())
+	}
+
+	// Truncate mid-record: the tail must be reported torn, not counted,
+	// and the file must not shrink further (read-only).
+	if _, err := SummarizeJournal(t.TempDir()); err == nil {
+		t.Error("missing journal accepted")
+	}
+}

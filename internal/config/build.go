@@ -1,0 +1,313 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apps/election"
+	"repro/internal/apps/replica"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/faultexpr"
+	"repro/internal/measure"
+	"repro/internal/observation"
+	"repro/internal/predicate"
+	"repro/internal/probe"
+	"repro/internal/spec"
+	"repro/internal/vclock"
+)
+
+// appBuilder constructs one machine of a built-in test application: its
+// instrumented body and its state machine specification. seed drives the
+// application's randomness and differs per machine.
+type appBuilder func(nick string, peers []string, runFor time.Duration, seed int64) (*probe.Instrumented, *spec.StateMachine)
+
+// appBuilders is the registry the schema's "app" field selects from.
+var appBuilders = map[string]appBuilder{
+	"election": func(nick string, peers []string, runFor time.Duration, seed int64) (*probe.Instrumented, *spec.StateMachine) {
+		in := election.New(election.Config{Peers: peers, RunFor: runFor, Seed: seed})
+		return in, election.SpecFor(nick, peers)
+	},
+	"replica": func(nick string, peers []string, runFor time.Duration, seed int64) (*probe.Instrumented, *spec.StateMachine) {
+		in := replica.New(replica.Config{Peers: peers, RunFor: runFor})
+		return in, replica.SpecFor(nick, peers)
+	},
+}
+
+// appName normalizes the schema's app field ("" means election).
+func appName(app string) string {
+	if app == "" {
+		return "election"
+	}
+	return app
+}
+
+// appNames lists the registered applications, sorted for stable errors.
+func appNames() []string { return []string{"election", "replica"} }
+
+// Build materializes a validated campaign file into the engine types: the
+// campaign itself and, when the file declares one, the scenario matrix.
+// Node definitions (application instances included) are built fresh, so
+// every Build result is private to one run.
+func Build(c *Campaign) (*campaign.Campaign, *campaign.Matrix, error) {
+	if err := Validate(c); err != nil {
+		return nil, nil, err
+	}
+	cc := &campaign.Campaign{
+		Name:    c.Name,
+		Hosts:   buildHosts(c),
+		Workers: c.Workers,
+	}
+	if c.Sync != nil {
+		cc.Sync = campaign.SyncConfig{
+			Messages: c.Sync.Messages,
+			Spacing:  c.Sync.Spacing.Std(),
+			Transit:  c.Sync.Transit.Std(),
+		}
+	}
+	if c.Checkpoint != nil {
+		cc.Checkpoint = &campaign.Checkpoint{Dir: c.Checkpoint.Dir, Resume: c.Checkpoint.Resume}
+	}
+	for i := range c.Studies {
+		st, err := buildStudy(c, &c.Studies[i], studySeed(c, &c.Studies[i]), nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		cc.Studies = append(cc.Studies, st)
+	}
+	if c.Matrix == nil {
+		return cc, nil, nil
+	}
+
+	m := c.Matrix
+	cm := &campaign.Matrix{
+		Name:  m.Name,
+		Seeds: append([]int64(nil), m.Seeds...),
+	}
+	for _, sc := range m.Scenarios {
+		faults, err := parseFaults(sc.Faults, nodeSet(m.Study.Nodes), fmt.Sprintf("scenario %q", sc.Name))
+		if err != nil {
+			return nil, nil, err
+		}
+		cm.Scenarios = append(cm.Scenarios, campaign.Scenario{Name: sc.Name, Faults: faults})
+	}
+	for _, lp := range m.Latencies {
+		cm.Latencies = append(cm.Latencies, campaign.LatencyProfile{
+			Name: lp.Name, Local: lp.Local.Std(), Remote: lp.Remote.Std(),
+		})
+	}
+	tmpl := *m.Study // template is copied; points must not mutate the file
+	cm.Build = func(p campaign.Point) (*campaign.Study, error) {
+		// The point's seed drives the applications, so a point is
+		// reproducible independently of the template's own seed. The
+		// point's scenario faults get their crash probes registered here
+		// — the engine's Scenario.ApplyTo appends the specs but knows
+		// nothing about probes, and the schema promises action-less
+		// fault lines crash wherever they appear.
+		return buildStudy(c, &tmpl, p.Seed, p.Scenario.Faults)
+	}
+	return cc, cm, nil
+}
+
+// studySeed resolves a study's effective seed: its own, or the campaign's.
+func studySeed(c *Campaign, s *Study) int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return c.Seed
+}
+
+// buildHosts returns the campaign's virtual hosts: the explicit list, or
+// one host per placement host derived from the campaign seed.
+func buildHosts(c *Campaign) []campaign.HostDef {
+	if len(c.Hosts) > 0 {
+		out := make([]campaign.HostDef, len(c.Hosts))
+		for i, h := range c.Hosts {
+			out[i] = campaign.HostDef{Name: h.Name, Clock: vclock.ClockConfig{
+				Offset:      vclock.Ticks(h.OffsetNs),
+				DriftPPM:    h.DriftPPM,
+				Granularity: vclock.Ticks(h.GranularityNs),
+				Jitter:      vclock.Ticks(h.JitterNs),
+				Seed:        h.JitterSeed,
+			}}
+		}
+		return out
+	}
+	var entries []spec.NodeEntry
+	seen := map[string]bool{}
+	add := func(nodes []Node) {
+		for _, n := range nodes {
+			if n.Host == "" || seen[n.Host] {
+				continue
+			}
+			seen[n.Host] = true
+			entries = append(entries, spec.NodeEntry{Nickname: n.Name, Host: n.Host})
+		}
+	}
+	for _, s := range c.Studies {
+		add(s.Nodes)
+	}
+	if c.Matrix != nil && c.Matrix.Study != nil {
+		add(c.Matrix.Study.Nodes)
+	}
+	return HostsFor(entries, c.Seed)
+}
+
+// HostsFor invents one virtual host per placement host named in nodes,
+// giving each a hidden clock error drawn from seed (offset within ±10 ms,
+// drift within ±100 ppm) — the testbed stand-in for real machines'
+// uncalibrated clocks. The first host keeps a clean reference clock.
+func HostsFor(nodes []spec.NodeEntry, seed int64) []campaign.HostDef {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out []campaign.HostDef
+	for _, n := range nodes {
+		if n.Host == "" || seen[n.Host] {
+			continue
+		}
+		seen[n.Host] = true
+		cfg := vclock.ClockConfig{
+			Offset:   vclock.Ticks(rng.Int63n(20e6)) - 10e6,
+			DriftPPM: float64(rng.Intn(200) - 100),
+		}
+		if len(out) == 0 {
+			cfg = vclock.ClockConfig{} // reference host keeps a clean clock
+		}
+		out = append(out, campaign.HostDef{Name: n.Host, Clock: cfg})
+	}
+	return out
+}
+
+// buildStudy materializes one study (or matrix template) with the given
+// effective seed: application instances, state machines, fault entries,
+// and crash probes for faults without a built-in action call. The
+// scenario faults, when given, get probes only — the matrix engine
+// appends their specs via Scenario.ApplyTo, and registering them twice
+// would duplicate the entries.
+func buildStudy(c *Campaign, s *Study, seed int64, scenario []campaign.ScenarioFault) (*campaign.Study, error) {
+	peers := make([]string, len(s.Nodes))
+	placement := make([]spec.NodeEntry, len(s.Nodes))
+	for i, n := range s.Nodes {
+		peers[i] = n.Name
+		placement[i] = spec.NodeEntry{Nickname: n.Name, Host: n.Host}
+	}
+	runFor := s.RunFor.Std()
+	if runFor <= 0 {
+		runFor = 150 * time.Millisecond
+	}
+	timeout := s.Timeout.Std()
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	faults, err := parseFaults(s.Faults, nodeSet(s.Nodes), fmt.Sprintf("study %q", s.Name))
+	if err != nil {
+		return nil, err
+	}
+	build := appBuilders[appName(s.App)]
+	dormancy := s.Dormancy.Std()
+
+	var defs []core.NodeDef
+	for i, nick := range peers {
+		in, sm := build(nick, peers, runFor, seed+int64(i)*17)
+		registerCrashProbes(scenario, nick, in, dormancy, seed)
+		defs = append(defs, core.NodeDef{
+			Nickname: nick,
+			Spec:     sm,
+			Faults:   machineFaults(faults, nick, in, dormancy, seed),
+			App:      in,
+		})
+	}
+	st := &campaign.Study{
+		Name:        s.Name,
+		Nodes:       defs,
+		Placement:   placement,
+		Experiments: s.Experiments,
+		Timeout:     timeout,
+		// Built-in chaos actions' randomness follows the study seed like
+		// everything else.
+		ChaosSeed: seed,
+		Transport: studyTransport(c, s),
+	}
+	if s.Restart {
+		st.Restarts = &campaign.RestartPolicy{After: 5 * time.Millisecond, MaxPerNode: 1}
+	}
+	return st, nil
+}
+
+// machineFaults returns the fault entries owned by nick and registers a
+// crash probe for each: immediate, or dormancy-delayed with jitter
+// dormancy/5 (§1.1). Faults naming a built-in chaos action are executed by
+// the attached chaos engine instead, so their probe registration is inert.
+func machineFaults(faults []campaign.ScenarioFault, nick string, in *probe.Instrumented, dormancy time.Duration, seed int64) []faultexpr.Spec {
+	var out []faultexpr.Spec
+	for _, f := range faults {
+		if f.Machine != nick {
+			continue
+		}
+		out = append(out, f.Spec)
+	}
+	registerCrashProbes(faults, nick, in, dormancy, seed)
+	return out
+}
+
+// registerCrashProbes registers nick's crash probes for the fault entries
+// without appending their specs (the caller, or the matrix engine's
+// scenario overlay, owns the spec list).
+func registerCrashProbes(faults []campaign.ScenarioFault, nick string, in *probe.Instrumented, dormancy time.Duration, seed int64) {
+	for _, f := range faults {
+		if f.Machine != nick {
+			continue
+		}
+		if dormancy > 0 {
+			in.On(f.Spec.Name, probe.DelayedCrashFault(dormancy, dormancy/5, seed))
+		} else {
+			in.On(f.Spec.Name, probe.CrashFault())
+		}
+	}
+}
+
+// studyTransport resolves a study's transport: its own, or the campaign
+// default.
+func studyTransport(c *Campaign, s *Study) string {
+	if s.Transport != "" {
+		return s.Transport
+	}
+	return c.Transport
+}
+
+// BuildMeasures compiles the file's declarative measures. Observation
+// functions beyond the parseable language (custom Go callbacks) stay in
+// Go — the schema covers the thesis's predicate/observation/selector
+// notation.
+func BuildMeasures(c *Campaign) ([]*measure.StudyMeasure, error) {
+	var out []*measure.StudyMeasure
+	for _, mm := range c.Measures {
+		var triples []measure.Triple
+		for i, tr := range mm.Triples {
+			var sel measure.Selector = measure.Default{}
+			if tr.Select != "" && tr.Select != "default" {
+				s, err := measure.ParseSelector(tr.Select)
+				if err != nil {
+					return nil, fmt.Errorf("config: measure %q triple %d: %w", mm.Name, i, err)
+				}
+				sel = s
+			}
+			pred, err := predicate.Parse(tr.Predicate)
+			if err != nil {
+				return nil, fmt.Errorf("config: measure %q triple %d: %w", mm.Name, i, err)
+			}
+			obs, err := observation.Parse(tr.Observation)
+			if err != nil {
+				return nil, fmt.Errorf("config: measure %q triple %d: %w", mm.Name, i, err)
+			}
+			triples = append(triples, measure.Triple{Select: sel, Pred: pred, Obs: obs})
+		}
+		sm, err := measure.NewStudyMeasure(mm.Name, triples...)
+		if err != nil {
+			return nil, fmt.Errorf("config: measure %q: %w", mm.Name, err)
+		}
+		out = append(out, sm)
+	}
+	return out, nil
+}

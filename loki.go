@@ -22,9 +22,15 @@
 //     virtual hosts with hidden-error clocks, per-host local daemons, a
 //     central daemon, dynamic node entry/exit/crash/restart.
 //   - Instrumented and the *Fault helpers — probe construction (§3.5.7).
-//   - Campaign, Study, Run — the full three-phase pipeline (§2.3).
-//   - ChaosAction, Scenario, Matrix, RunMatrix — the chaos subsystem:
-//     fault specification entries may name built-in network and host fault
+//   - Session, Open, CampaignFile — the one composable entry point: a
+//     campaign opened from Go wiring or a declarative campaign.json runs
+//     the full three-phase pipeline (§2.3) on any engine (worker pool,
+//     scenario matrix, loopback clusters, multi-process members) with
+//     cancellation, checkpoint/resume, status, and artifact emission
+//     (session.go).
+//   - Campaign, Study — the campaign description the Session executes.
+//   - ChaosAction, Scenario, Matrix — the chaos subsystem: fault
+//     specification entries may name built-in network and host fault
 //     actions (partition, drop, delay, duplicate, corrupt, crash,
 //     crashrestart, clockstep), and the matrix engine fans one
 //     configuration out into {scenarios × latency profiles × seeds}
@@ -34,7 +40,16 @@
 //   - EstimateClocks, BuildGlobalTimeline, CheckExperiment — the analysis
 //     phase à la carte (§2.5).
 //
-// A minimal session:
+// A minimal session runs a declarative campaign file end to end:
+//
+//	s, err := loki.Open("campaign.json", loki.WithWorkers(8))
+//	defer s.Close()
+//	res, err := s.Run(ctx)
+//	fmt.Println(res.Campaign.Study("study1").AcceptanceRate())
+//
+// The same session API drives hand-wired campaigns — loki.Open(&loki.
+// Campaign{...}) — and the runtime layer stays available for bespoke
+// testbeds:
 //
 //	rt := loki.NewRuntime(loki.RuntimeConfig{})
 //	rt.AddHost("h1", loki.ClockConfig{})
@@ -42,8 +57,9 @@
 //	rt.StartNode("sm1", "h1")
 //	rt.Wait(time.Second)
 //
-// See examples/quickstart for a complete program and examples/election for
-// the thesis's Chapter 5 campaign.
+// See examples/quickstart for a complete program, examples/election for
+// the thesis's Chapter 5 campaign, and examples/chaos for a campaign-file
+// driven scenario matrix.
 package loki
 
 import (

@@ -1,6 +1,9 @@
 package loki
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/campaign"
 	"repro/internal/transport"
 )
@@ -53,7 +56,37 @@ func NewClusterMember(c *Campaign, st *Study, tr Transport) (*ClusterMember, err
 
 // RunClusteredStudy executes the study with every campaign host in its
 // own runtime, connected over the named transport kind on loopback —
-// Study.Transport does the same through RunCampaign.
+// Study.Transport does the same through a Session's Run.
+//
+// Deprecated: RunClusteredStudy is a thin shim over the Session API and
+// will be removed next release. Set Study.Transport and open a Session:
+//
+//	st.Transport = loki.TransportUDP
+//	s, err := loki.Open(c) // c.Studies = []*loki.Study{st}
+//	res, err := s.Run(ctx)
 func RunClusteredStudy(c *Campaign, st *Study, kind string) (*StudyOutcome, error) {
-	return campaign.RunClustered(c, st, kind)
+	if kind == "" || kind == TransportInproc {
+		// The multi-endpoint in-process topology is a test-only corner;
+		// the engines route "inproc" to the worker pool. Reach it via
+		// NewClusterMember when endpoint boundaries matter.
+		return campaign.RunClustered(c, st, kind)
+	}
+	cc := *c
+	stc := *st
+	stc.Transport = kind
+	cc.Studies = []*Study{&stc}
+	s, err := Open(&cc, WithTransport(kind))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	sr := res.Campaign.Study(stc.Name)
+	if sr == nil {
+		return nil, fmt.Errorf("loki: clustered study %q produced no result", stc.Name)
+	}
+	return sr, nil
 }

@@ -29,6 +29,9 @@ type (
 	// ExperimentRecord is one experiment's full record (runtime outcomes,
 	// clock bounds, global timeline, analysis verdict).
 	ExperimentRecord = campaign.ExperimentRecord
+	// StepBound is the estimated magnitude interval of a suspected clock
+	// step, from the per-phase convex-hull fits.
+	StepBound = campaign.StepBound
 	// Checkpoint configures per-experiment record journaling under an
 	// artifact directory and — with Resume — restart at the first missing
 	// point/experiment instead of rerunning a killed campaign.

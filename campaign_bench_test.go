@@ -135,21 +135,28 @@ func TestEmitCampaignBenchJSON(t *testing.T) {
 	}
 	type row struct {
 		Workers        int     `json:"workers"`
+		Virtual        bool    `json:"virtual_time,omitempty"`
 		Experiments    int     `json:"experiments"`
 		ElapsedSec     float64 `json:"elapsed_sec"`
 		ExperimentsSec float64 `json:"experiments_per_sec"`
 		Accepted       int     `json:"accepted"`
 	}
 	type doc struct {
-		Name      string  `json:"name"`
-		Rows      []row   `json:"rows"`
-		SpeedupX8 float64 `json:"speedup_8_vs_1"`
+		Name string `json:"name"`
+		Rows []row  `json:"rows"`
+		// Worker-pool scaling on the wall clock, then the virtual-time
+		// engine's single-worker speedup over the same campaign: the two
+		// orthogonal throughput levers.
+		SpeedupX8       float64 `json:"speedup_8_vs_1"`
+		VirtualSpeedupX float64 `json:"virtual_speedup_vs_real_1"`
 	}
 	const experiments = 16
 	out := doc{Name: "campaign-throughput"}
-	for _, workers := range []int{1, 4, 8} {
+	run := func(workers int, virtual bool) row {
+		c := throughputCampaign(experiments, workers, 42)
+		c.VirtualTime = virtual
 		start := time.Now()
-		res, err := loki.RunCampaign(throughputCampaign(experiments, workers, 42))
+		res, err := loki.RunCampaign(c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,16 +168,25 @@ func TestEmitCampaignBenchJSON(t *testing.T) {
 				accepted++
 			}
 		}
-		out.Rows = append(out.Rows, row{
+		t.Logf("workers=%d virtual=%v: %.2f experiments/sec (%d accepted)",
+			workers, virtual, float64(experiments)/elapsed, accepted)
+		return row{
 			Workers:        workers,
+			Virtual:        virtual,
 			Experiments:    experiments,
 			ElapsedSec:     elapsed,
 			ExperimentsSec: float64(experiments) / elapsed,
 			Accepted:       accepted,
-		})
-		t.Logf("workers=%d: %.2f experiments/sec (%d accepted)", workers, float64(experiments)/elapsed, accepted)
+		}
+	}
+	for _, workers := range []int{1, 4, 8} {
+		out.Rows = append(out.Rows, run(workers, false))
+	}
+	for _, workers := range []int{1, 8} {
+		out.Rows = append(out.Rows, run(workers, true))
 	}
 	out.SpeedupX8 = out.Rows[2].ExperimentsSec / out.Rows[0].ExperimentsSec
+	out.VirtualSpeedupX = out.Rows[3].ExperimentsSec / out.Rows[0].ExperimentsSec
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)

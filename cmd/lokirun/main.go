@@ -68,6 +68,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed (clock errors, app randomness)")
 		workers      = flag.Int("workers", 0, "concurrent experiment executors (0 = campaign file's count or GOMAXPROCS)")
 		transportK   = flag.String("transport", "", "run every study over this transport: inproc, udp, or tcp")
+		virtualTime  = flag.Bool("virtual-time", false, "run on a simulated clock: instant wall-clock studies, identical analysis (inproc only)")
 		outDir       = flag.String("out", "", "artifact directory; completed experiments are journaled to DIR/checkpoint.jsonl")
 		resume       = flag.Bool("resume", false, "resume from the checkpoint journal: run only the missing experiments")
 	)
@@ -113,6 +114,9 @@ func main() {
 	}
 	if *transportK != "" {
 		opts = append(opts, loki.WithTransport(*transportK))
+	}
+	if *virtualTime {
+		opts = append(opts, loki.WithVirtualTime())
 	}
 	if *outDir != "" {
 		opts = append(opts, loki.WithArtifacts(*outDir))
@@ -237,6 +241,11 @@ func printRecord(rec *loki.ExperimentRecord) {
 	}
 	if rec.ClockStepSuspected {
 		fmt.Printf("  clock step suspected on hosts %v (sync mini-phases disagree)\n", rec.ClockStepHosts)
+		for _, h := range rec.ClockStepHosts {
+			if b, ok := rec.ClockStepBounds[h]; ok {
+				fmt.Printf("    %s: step within [%v, %v]\n", h, b.Lo.Duration(), b.Hi.Duration())
+			}
+		}
 	}
 	if rec.Report != nil {
 		for _, chk := range rec.Report.Injections {

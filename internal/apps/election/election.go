@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/probe"
 	"repro/internal/spec"
@@ -168,6 +169,7 @@ type heartbeatMsg struct {
 type proc struct {
 	cfg Config
 	h   *core.Handle
+	clk clock.Clock
 	rng *rand.Rand
 
 	round    int
@@ -192,6 +194,7 @@ func New(cfg Config) *probe.Instrumented {
 		p := &proc{
 			cfg:   cfg,
 			h:     h,
+			clk:   h.Clock(),
 			rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(hsh.Sum64()))),
 			votes: make(map[int]map[string]int64),
 		}
@@ -202,9 +205,9 @@ func New(cfg Config) *probe.Instrumented {
 func (p *proc) run() {
 	h := p.h
 	if p.cfg.RunFor > 0 {
-		p.deadline = time.Now().Add(p.cfg.RunFor)
+		p.deadline = p.clk.Now().Add(p.cfg.RunFor)
 	} else {
-		p.deadline = time.Now().Add(24 * time.Hour)
+		p.deadline = p.clk.Now().Add(24 * time.Hour)
 	}
 
 	if h.Restarted() {
@@ -214,7 +217,7 @@ func (p *proc) run() {
 			return
 		}
 		h.NotifyEvent(EvRestartDone)
-		p.lastHB = time.Now()
+		p.lastHB = p.clk.Now()
 		p.followLoop()
 		return
 	}
@@ -232,7 +235,7 @@ func (p *proc) run() {
 // corresponding role loop; it returns when the process should exit.
 func (p *proc) electLoop() {
 	h := p.h
-	for time.Now().Before(p.deadline) && !h.Crashed() {
+	for p.clk.Now().Before(p.deadline) && !h.Crashed() {
 		winner, ok := p.electOnce()
 		if !ok {
 			return // crashed or killed mid-round
@@ -252,7 +255,7 @@ func (p *proc) electLoop() {
 				return
 			}
 			p.leader = winner
-			p.lastHB = time.Now()
+			p.lastHB = p.clk.Now()
 			if !p.followLoop() {
 				return
 			}
@@ -271,9 +274,9 @@ func (p *proc) electOnce() (string, bool) {
 	p.recordVote(p.round, me, value)
 	h.Broadcast(voteMsg{Round: p.round, Value: value})
 
-	end := time.Now().Add(p.cfg.ElectWindow)
-	for time.Now().Before(end) {
-		m, ok := h.WaitMessage(time.Until(end))
+	end := p.clk.Now().Add(p.cfg.ElectWindow)
+	for p.clk.Now().Before(end) {
+		m, ok := h.WaitMessage(end.Sub(p.clk.Now()))
 		if !ok {
 			if h.Crashed() {
 				return "", false
@@ -335,7 +338,7 @@ func (p *proc) recordVote(round int, who string, value int64) {
 // when the process must stop entirely.
 func (p *proc) leadLoop() bool {
 	h := p.h
-	for time.Now().Before(p.deadline) {
+	for p.clk.Now().Before(p.deadline) {
 		h.Broadcast(heartbeatMsg{Leader: h.Nickname()})
 		if !h.Sleep(p.cfg.HeartbeatEvery) {
 			return false // crashed or killed
@@ -360,7 +363,7 @@ func (p *proc) leadLoop() bool {
 // returns false when the process must stop entirely.
 func (p *proc) followLoop() bool {
 	h := p.h
-	for time.Now().Before(p.deadline) {
+	for p.clk.Now().Before(p.deadline) {
 		m, ok := h.WaitMessage(p.cfg.HeartbeatEvery)
 		if !ok {
 			select {
@@ -368,7 +371,7 @@ func (p *proc) followLoop() bool {
 				return false
 			default:
 			}
-			if time.Since(p.lastHB) > p.cfg.LeaderTimeout {
+			if p.clk.Since(p.lastHB) > p.cfg.LeaderTimeout {
 				// Leader presumed crashed: rejoin the election (§5.2).
 				if h.NotifyEvent(EvLeaderCrash) != nil {
 					return false
@@ -379,7 +382,7 @@ func (p *proc) followLoop() bool {
 		}
 		switch msg := m.Payload.(type) {
 		case heartbeatMsg:
-			p.lastHB = time.Now()
+			p.lastHB = p.clk.Now()
 			p.leader = msg.Leader
 		case voteMsg:
 			// Someone started an election: the leader must be gone.

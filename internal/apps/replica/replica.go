@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/probe"
 	"repro/internal/spec"
@@ -152,6 +153,7 @@ type syncReqMsg struct{}
 type proc struct {
 	cfg     Config
 	h       *core.Handle
+	clk     clock.Clock
 	applied uint64 // last applied sequence/value (counter semantics: seq == value)
 }
 
@@ -160,7 +162,7 @@ type proc struct {
 func New(cfg Config) *probe.Instrumented {
 	cfg.setDefaults()
 	return probe.NewInstrumented(func(h *core.Handle) {
-		p := &proc{cfg: cfg, h: h}
+		p := &proc{cfg: cfg, h: h, clk: h.Clock()}
 		p.run()
 	})
 }
@@ -175,9 +177,9 @@ func (p *proc) run() {
 	// A (re)started process begins with fresh memory: clear the region so
 	// an earlier run's (or earlier experiment's) contents cannot leak in.
 	p.cfg.Region.Reset(make([]byte, 8))
-	deadline := time.Now().Add(p.cfg.RunFor)
+	deadline := p.clk.Now().Add(p.cfg.RunFor)
 	if p.cfg.RunFor <= 0 {
-		deadline = time.Now().Add(24 * time.Hour)
+		deadline = p.clk.Now().Add(24 * time.Hour)
 	}
 
 	if h.Restarted() {
@@ -244,7 +246,7 @@ func (p *proc) corrupted() bool {
 
 func (p *proc) primaryLoop(deadline time.Time) {
 	h := p.h
-	for time.Now().Before(deadline) {
+	for p.clk.Now().Before(deadline) {
 		if !h.Sleep(p.cfg.TickEvery) {
 			return
 		}
@@ -273,9 +275,9 @@ func (p *proc) primaryLoop(deadline time.Time) {
 
 func (p *proc) backupLoop(deadline time.Time) {
 	h := p.h
-	lastUpdate := time.Now()
+	lastUpdate := p.clk.Now()
 	promoteAfter := time.Duration(p.rank()+1) * p.cfg.PrimaryTimeout
-	for time.Now().Before(deadline) {
+	for p.clk.Now().Before(deadline) {
 		m, ok := h.WaitMessage(p.cfg.TickEvery)
 		if ok {
 			// Check for corruption before applying: an incoming update
@@ -288,7 +290,7 @@ func (p *proc) backupLoop(deadline time.Time) {
 			switch u := m.Payload.(type) {
 			case updateMsg:
 				p.apply(u)
-				lastUpdate = time.Now()
+				lastUpdate = p.clk.Now()
 			case syncReqMsg:
 				// Only primaries serve syncs; ignore as a backup.
 			}
@@ -299,7 +301,7 @@ func (p *proc) backupLoop(deadline time.Time) {
 			return
 		default:
 		}
-		if time.Since(lastUpdate) > promoteAfter {
+		if p.clk.Since(lastUpdate) > promoteAfter {
 			if h.NotifyEvent(EvPromote) != nil {
 				return
 			}

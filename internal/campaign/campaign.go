@@ -10,6 +10,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/clocksync"
 	"repro/internal/core"
 	"repro/internal/faultexpr"
@@ -61,6 +63,11 @@ type Study struct {
 	// run their experiments sequentially (one runtime set per process),
 	// so Campaign.Workers does not apply to them.
 	Transport string
+	// Workers, when positive, overrides Campaign.Workers for this study.
+	// Virtual-time studies often pin Workers=1 for strictly serialized —
+	// and therefore byte-reproducible — execution, while real-time studies
+	// in the same campaign fan out.
+	Workers int
 }
 
 // Campaign is a full fault injection campaign (§2.2.3).
@@ -87,6 +94,13 @@ type Campaign struct {
 	// journaled records on restart, resuming at the first missing
 	// point/experiment (checkpoint.go).
 	Checkpoint *Checkpoint
+	// VirtualTime runs every inproc study against a per-worker
+	// virtual-time scheduler (internal/clock.Virtual) instead of the wall
+	// clock: sleeps, fault windows, and timeouts complete instantly while
+	// the sync mini-phases keep their exact timing geometry. Requires the
+	// inproc transport — socket studies and lokid stay real-time — and is
+	// part of the journal fingerprint: virtual and real records never mix.
+	VirtualTime bool
 }
 
 // ExperimentRecord is everything one experiment produced.
@@ -115,6 +129,19 @@ type ExperimentRecord struct {
 	ClockStepSuspected bool
 	// ClockStepHosts lists the hosts whose mini-phases disagree, sorted.
 	ClockStepHosts []string
+	// ClockStepBounds bounds each suspected host's step magnitude from
+	// the two per-phase convex-hull fits: the true step Δ satisfies
+	// Δ ∈ [postAlphaLo − preAlphaHi, postAlphaHi − preAlphaLo], because
+	// each phase's alpha interval rigorously contains that phase's true
+	// offset. Keyed like ClockStepHosts.
+	ClockStepBounds map[string]StepBound
+}
+
+// StepBound is a rigorous interval (in reference-clock nanoseconds) on a
+// suspected mid-experiment clock step's magnitude.
+type StepBound struct {
+	Lo vclock.Ticks
+	Hi vclock.Ticks
 }
 
 // StudyResult aggregates a study's experiments.
@@ -216,6 +243,22 @@ func Validate(c *Campaign) error {
 		if err := ValidateExperiments(st.Name, st.Experiments); err != nil {
 			return err
 		}
+		if err := ValidateWorkers(st.Workers); err != nil {
+			return fmt.Errorf("campaign: study %q: %w", st.Name, err)
+		}
+		if err := validateVirtualTransport(c, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateVirtualTransport rejects virtual time over socket transports:
+// the virtual scheduler owns every wait in the process, which a real
+// loopback socket (or a peer lokid process) cannot participate in.
+func validateVirtualTransport(c *Campaign, st *Study) error {
+	if c.VirtualTime && st.Transport != "" && st.Transport != "inproc" {
+		return fmt.Errorf("campaign: study %q: virtual time requires the inproc transport, not %q", st.Name, st.Transport)
 	}
 	return nil
 }
@@ -279,6 +322,9 @@ func RunContext(ctx context.Context, c *Campaign) (*Result, error) {
 // (Workers=1 per process). RunMatrix routes its points through here too,
 // so a requested transport is never silently downgraded.
 func runStudyOn(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*StudyResult, error) {
+	if err := validateVirtualTransport(c, st); err != nil {
+		return nil, err
+	}
 	if st.Transport != "" && st.Transport != "inproc" {
 		return runClustered(ctx, c, st, st.Transport, sj)
 	}
@@ -310,6 +356,9 @@ func RunSingleContext(ctx context.Context, c *Campaign) (*ExperimentRecord, []cl
 		return nil, nil, nil, err
 	}
 	st := c.Studies[0]
+	if err := validateVirtualTransport(c, st); err != nil {
+		return nil, nil, nil, err
+	}
 	j, err := openCampaignJournal(c)
 	if err != nil {
 		return nil, nil, nil, err
@@ -405,7 +454,17 @@ func (raw *rawExperiment) allStamps() []clocksync.StampedMessage {
 func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon, string, error) {
 	// core.New defaults a nil Source to a fresh SystemSource, giving each
 	// worker its own time base unless the campaign supplies a shared one.
-	rt := core.New(c.Runtime)
+	cfg := c.Runtime
+	if c.VirtualTime {
+		// Each worker owns a private virtual-time scheduler: the host
+		// clocks' hidden offset/drift geometry is applied over simulated
+		// time, so the convex-hull estimator sees the exact stamps a
+		// real-time run would produce.
+		v := clock.NewVirtual()
+		cfg.Clock = v
+		cfg.Source = v.Source()
+	}
+	rt := core.New(cfg)
 	for _, h := range c.Hosts {
 		rt.AddHost(h.Name, h.Clock)
 	}
@@ -470,6 +529,9 @@ func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*S
 	}
 
 	workers := c.Workers
+	if st.Workers > 0 {
+		workers = st.Workers
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -588,6 +650,15 @@ func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*S
 func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralDaemon,
 	ref string, index int, timeout time.Duration) (*rawExperiment, error) {
 
+	// Under virtual time the worker drives its runtime's scheduler for
+	// the duration of the phase: timers fire (advancing simulated time)
+	// only inside this window, and the worker itself is a tracked task
+	// that may block only through the runtime clock.
+	if v, ok := rt.Clock().(*clock.Virtual); ok {
+		v.Drive()
+		defer v.Release()
+	}
+
 	// Reset BEFORE the pre-sync mini-phase: the previous experiment's
 	// faults (a stepped clock above all) must not leak into this
 	// experiment's synchronization stamps, or its clock fit would be
@@ -662,7 +733,7 @@ func analyzeExperiment(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentR
 		// mid-experiment (§2.5's linear-drift assumption was violated
 		// between the phases, not within them).
 		rec.AnalysisError = fmt.Sprintf("clock sync: %v", err)
-		rec.ClockStepHosts = clockStepHosts(raw)
+		rec.ClockStepHosts, rec.ClockStepBounds = clockStepHosts(raw)
 		rec.ClockStepSuspected = len(rec.ClockStepHosts) > 0
 		return rec, nil
 	}
@@ -680,19 +751,21 @@ func analyzeExperiment(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentR
 
 // clockStepHosts fits each sync mini-phase separately and returns the
 // hosts whose per-phase (alpha, beta) bound boxes are disjoint in alpha —
-// hosts whose clock apparently jumped between the phases. Empty when
-// either phase fails to fit on its own (then the timestamps are bad in a
-// way a step cannot explain).
-func clockStepHosts(raw *rawExperiment) []string {
+// hosts whose clock apparently jumped between the phases — along with a
+// rigorous interval on each step's magnitude. Empty when either phase
+// fails to fit on its own (then the timestamps are bad in a way a step
+// cannot explain).
+func clockStepHosts(raw *rawExperiment) ([]string, map[string]StepBound) {
 	pre, err := clocksync.EstimateAll(raw.preStamps, raw.ref)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	post, err := clocksync.EstimateAll(raw.postStamps, raw.ref)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	var hosts []string
+	var bounds map[string]StepBound
 	for h, pb := range pre {
 		qb, ok := post[h]
 		if !ok {
@@ -703,10 +776,21 @@ func clockStepHosts(raw *rawExperiment) []string {
 		// single affine model spans the experiment.
 		if qb.AlphaLo > pb.AlphaHi || qb.AlphaHi < pb.AlphaLo {
 			hosts = append(hosts, h)
+			// The step moved the offset from somewhere in the pre interval
+			// to somewhere in the post interval, so its magnitude is
+			// bracketed by the extreme differences (floored/ceiled to keep
+			// the interval conservative in Ticks).
+			if bounds == nil {
+				bounds = make(map[string]StepBound)
+			}
+			bounds[h] = StepBound{
+				Lo: vclock.Ticks(math.Floor(qb.AlphaLo - pb.AlphaHi)),
+				Hi: vclock.Ticks(math.Ceil(qb.AlphaHi - pb.AlphaLo)),
+			}
 		}
 	}
 	sort.Strings(hosts)
-	return hosts
+	return hosts, bounds
 }
 
 // snapshotTimelines deep-copies the store's timelines so later experiments

@@ -95,6 +95,7 @@ type recordWire struct {
 	AnalysisError      string                      `json:",omitempty"`
 	ClockStepSuspected bool                        `json:",omitempty"`
 	ClockStepHosts     []string                    `json:",omitempty"`
+	ClockStepBounds    map[string]StepBound        `json:",omitempty"`
 	// Locals and Stamps carry the raw runtime artifacts for the
 	// single-experiment tools (cmd/lokid), so a resumed coordinator can
 	// rewrite its artifact files without rerunning the cluster.
@@ -115,6 +116,7 @@ func encodeRecordWire(rec *ExperimentRecord, locals []*timeline.Local, stamps []
 		AnalysisError:      rec.AnalysisError,
 		ClockStepSuspected: rec.ClockStepSuspected,
 		ClockStepHosts:     rec.ClockStepHosts,
+		ClockStepBounds:    rec.ClockStepBounds,
 		Stamps:             stamps,
 	}
 	if rec.Global != nil {
@@ -147,6 +149,7 @@ func decodeRecordWire(w *recordWire) (*ExperimentRecord, []*timeline.Local, []cl
 		AnalysisError:      w.AnalysisError,
 		ClockStepSuspected: w.ClockStepSuspected,
 		ClockStepHosts:     w.ClockStepHosts,
+		ClockStepBounds:    w.ClockStepBounds,
 	}
 	if w.Global != "" {
 		g, err := analysis.DecodeString(w.Global)
@@ -445,6 +448,12 @@ func campaignFingerprint(c *Campaign) string {
 	fmt.Fprintf(h, "runtime %v %v %v %v\n",
 		c.Runtime.LocalDelay, c.Runtime.RemoteDelay,
 		c.Runtime.WatchdogInterval, c.Runtime.WatchdogTimeout)
+	// Virtual and real-time journals must never mix: virtual runs observe
+	// exact simulated delays, so their records are not interchangeable with
+	// wall-clock records of the same campaign.
+	if c.VirtualTime {
+		fmt.Fprintf(h, "virtual-time\n")
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

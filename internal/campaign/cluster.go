@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/clocksync"
 	"repro/internal/core"
 	"repro/internal/spec"
@@ -908,7 +909,7 @@ func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
 					SendTime: vclock.Ticks(pong.RemoteSend), RecvTime: refRecv,
 				})
 			okRounds++
-			wait(cfg.Spacing)
+			clock.SpinWait(m.rt.Clock(), cfg.Spacing)
 		}
 		// Require most of the configured rounds only up to the point the
 		// estimator needs: a user asking for 1-2 rounds gets the same

@@ -1,9 +1,10 @@
 package campaign
 
 import (
-	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/spec"
 	"repro/internal/timeline"
@@ -41,36 +42,40 @@ type supervisor struct {
 	rt     *core.Runtime
 	policy RestartPolicy
 
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	stopped atomic.Bool
+	pollW   clock.Waiter // poll wait, woken early on stop
+	exitW   clock.Waiter // loop-exit handshake for stop
 }
 
 // startSupervisor watches for crashed nodes and restarts them per policy
-// until stopped.
+// until stopped. The loop runs as a clock-tracked goroutine and blocks
+// only through the runtime clock, so virtual time sees its polls.
 func startSupervisor(rt *core.Runtime, policy RestartPolicy) *supervisor {
 	policy.setDefaults()
-	s := &supervisor{rt: rt, policy: policy, stopCh: make(chan struct{})}
-	s.wg.Add(1)
-	go s.loop()
+	clk := rt.Clock()
+	s := &supervisor{rt: rt, policy: policy, pollW: clk.NewWaiter(), exitW: clk.NewWaiter()}
+	clk.Go(s.loop)
 	return s
 }
 
 func (s *supervisor) stop() {
-	close(s.stopCh)
-	s.wg.Wait()
+	s.stopped.Store(true)
+	s.pollW.Wake()
+	s.exitW.Wait(-1)
 }
 
 func (s *supervisor) loop() {
-	defer s.wg.Done()
+	defer s.exitW.Wake()
+	clk := s.rt.Clock()
 	restarts := make(map[string]int)
 	crashSeen := make(map[string]time.Time)
-	ticker := time.NewTicker(s.policy.Poll)
-	defer ticker.Stop()
 	for {
-		select {
-		case <-s.stopCh:
+		if s.stopped.Load() {
 			return
-		case <-ticker.C:
+		}
+		s.pollW.Wait(s.policy.Poll)
+		if s.stopped.Load() {
+			return
 		}
 		for _, nick := range s.rt.TimelineNames() {
 			if s.rt.Node(nick) != nil || restarts[nick] >= s.policy.MaxPerNode {
@@ -86,10 +91,10 @@ func (s *supervisor) loop() {
 			}
 			first, seen := crashSeen[nick]
 			if !seen {
-				crashSeen[nick] = time.Now()
+				crashSeen[nick] = clk.Now()
 				continue
 			}
-			if time.Since(first) < s.policy.After {
+			if clk.Since(first) < s.policy.After {
 				continue
 			}
 			host := s.policy.Host

@@ -3,6 +3,7 @@ package campaign
 import (
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/clocksync"
 	"repro/internal/core"
 )
@@ -41,6 +42,7 @@ func (c *SyncConfig) setDefaults() {
 // non-trivial — exactly the geometry of real hardware.
 func exchangeStamps(rt *core.Runtime, ref string, cfg SyncConfig) []clocksync.StampedMessage {
 	cfg.setDefaults()
+	clk := rt.Clock()
 	refClock := rt.HostClock(ref)
 	var msgs []clocksync.StampedMessage
 	for _, host := range rt.Hosts() {
@@ -51,34 +53,22 @@ func exchangeStamps(rt *core.Runtime, ref string, cfg SyncConfig) []clocksync.St
 		for i := 0; i < cfg.Messages; i++ {
 			// ref -> host
 			send := refClock.Now()
-			wait(cfg.Transit)
+			clock.SpinWait(clk, cfg.Transit)
 			recv := hostClock.Now()
 			msgs = append(msgs, clocksync.StampedMessage{
 				SendHost: ref, RecvHost: host, SendTime: send, RecvTime: recv,
 			})
 			// host -> ref
 			send = hostClock.Now()
-			wait(cfg.Transit)
+			clock.SpinWait(clk, cfg.Transit)
 			recv = refClock.Now()
 			msgs = append(msgs, clocksync.StampedMessage{
 				SendHost: host, RecvHost: ref, SendTime: send, RecvTime: recv,
 			})
-			wait(cfg.Spacing)
+			clock.SpinWait(clk, cfg.Spacing)
 		}
 	}
 	return msgs
-}
-
-// wait busy-sleeps for short durations: time.Sleep has ~ms granularity
-// under load, which would make sync phases needlessly slow.
-func wait(d time.Duration) {
-	if d >= time.Millisecond {
-		time.Sleep(d)
-		return
-	}
-	start := time.Now()
-	for time.Since(start) < d {
-	}
 }
 
 // referenceHost picks the reference machine: the first host in sorted

@@ -55,9 +55,10 @@ func Build(c *Campaign) (*campaign.Campaign, *campaign.Matrix, error) {
 		return nil, nil, err
 	}
 	cc := &campaign.Campaign{
-		Name:    c.Name,
-		Hosts:   buildHosts(c),
-		Workers: c.Workers,
+		Name:        c.Name,
+		Hosts:       buildHosts(c),
+		Workers:     c.Workers,
+		VirtualTime: c.VirtualTime,
 	}
 	if c.Sync != nil {
 		cc.Sync = campaign.SyncConfig{
@@ -228,6 +229,7 @@ func buildStudy(c *Campaign, s *Study, seed int64, scenario []campaign.ScenarioF
 		// everything else.
 		ChaosSeed: seed,
 		Transport: studyTransport(c, s),
+		Workers:   s.Workers,
 	}
 	if s.Restart {
 		st.Restarts = &campaign.RestartPolicy{After: 5 * time.Millisecond, MaxPerNode: 1}

@@ -69,6 +69,11 @@ type Campaign struct {
 	// runtime, in-memory bus), "udp" or "tcp" (one runtime per host over
 	// loopback sockets). A study's own Transport overrides it.
 	Transport string `json:"transport,omitempty"`
+	// VirtualTime runs every study on a simulated clock: all waits in the
+	// engine and the applications complete instantly in wall-clock terms,
+	// while the recorded timestamps keep the configured host-clock
+	// geometry. Requires the inproc transport and no cluster.
+	VirtualTime bool `json:"virtual_time,omitempty"`
 	// Sync tunes the clock-synchronization mini-phases.
 	Sync *Sync `json:"sync,omitempty"`
 	// Checkpoint enables the per-experiment journal under Dir.
@@ -164,6 +169,9 @@ type Study struct {
 	Restart bool `json:"restart,omitempty"`
 	// Transport overrides the campaign transport for this study.
 	Transport string `json:"transport,omitempty"`
+	// Workers overrides the campaign worker-pool size for this study
+	// (0 = use the campaign's; negative is rejected).
+	Workers int `json:"workers,omitempty"`
 }
 
 // Scenario is one named chaos configuration: fault lines overlaid onto

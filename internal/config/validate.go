@@ -110,6 +110,9 @@ func Validate(c *Campaign) error {
 	}
 
 	if cl := c.Cluster; cl != nil {
+		if c.VirtualTime {
+			return fmt.Errorf("config: virtual time cannot drive a cluster; remove the cluster block or virtual_time")
+		}
 		if cl.Kind != transport.KindNameUDP && cl.Kind != transport.KindNameTCP {
 			return fmt.Errorf("config: cluster kind %q (want udp or tcp)", cl.Kind)
 		}
@@ -207,8 +210,16 @@ func validateStudy(c *Campaign, s *Study, hostNames map[string]bool) error {
 	if err := campaign.ValidateExperiments(s.Name, s.Experiments); err != nil {
 		return err
 	}
+	if err := campaign.ValidateWorkers(s.Workers); err != nil {
+		return fmt.Errorf("config: %s: %w", what, err)
+	}
 	if !validTransport(s.Transport) {
 		return fmt.Errorf("config: %s: unknown transport %q (want inproc, udp, or tcp)", what, s.Transport)
+	}
+	if c.VirtualTime {
+		if tr := studyTransport(c, s); tr != "" && tr != transport.KindNameInproc {
+			return fmt.Errorf("config: %s: virtual time requires the inproc transport, not %q", what, tr)
+		}
 	}
 	_, err := parseFaults(s.Faults, seen, what)
 	return err

@@ -57,7 +57,7 @@ func (h *Handle) Send(to string, payload interface{}) bool {
 	if fate.Delay > 0 {
 		epoch := rt.Epoch()
 		copies := fate.Copies
-		time.AfterFunc(fate.Delay.Duration(), func() {
+		rt.clk.AfterFunc(fate.Delay.Duration(), func() {
 			if rt.Epoch() != epoch {
 				return
 			}
@@ -101,11 +101,13 @@ func (h *Handle) sendRemote(to, toHost string, payload interface{}) {
 	send()
 }
 
-// deliver places a message in the handle's inbox, non-blocking. from, when
+// deliver places a message in the handle's inbox, non-blocking, and wakes
+// any goroutine blocked in WaitMessage/Sleep on the node. from, when
 // non-empty, names the sender for the inbox-full diagnostic.
 func (h *Handle) deliver(m AppMessage, from string) bool {
 	select {
 	case h.inboxChan() <- m:
+		h.node.wakeWaiters()
 		return true
 	default:
 		if from != "" {
@@ -165,17 +167,29 @@ func (h *Handle) Inbox() <-chan AppMessage { return h.inboxChan() }
 // WaitMessage receives the next application message, giving up after
 // timeout or when the node is stopped.
 func (h *Handle) WaitMessage(timeout time.Duration) (AppMessage, bool) {
-	h.node.touch()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case m := <-h.inboxChan():
-		h.node.touch()
-		return m, true
-	case <-timer.C:
-		return AppMessage{}, false
-	case <-h.node.done:
-		return AppMessage{}, false
+	n := h.node
+	n.touch()
+	clk := n.rt.clk
+	inbox := h.inboxChan()
+	deadline := clk.Now().Add(timeout)
+	w := clk.NewWaiter()
+	n.addWaiter(w)
+	defer n.removeWaiter(w)
+	for {
+		select {
+		case m := <-inbox:
+			n.touch()
+			return m, true
+		default:
+		}
+		if n.stopping() {
+			return AppMessage{}, false
+		}
+		rem := deadline.Sub(clk.Now())
+		if rem <= 0 {
+			return AppMessage{}, false
+		}
+		w.Wait(rem)
 	}
 }
 

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/spec"
 	"repro/internal/timeline"
 	"repro/internal/vclock"
@@ -20,19 +23,19 @@ type LocalDaemon struct {
 	mu    sync.Mutex
 	nodes map[string]*Node
 
-	stopCh   chan struct{}
-	stopOnce sync.Once
+	stopped atomic.Bool
+	stopW   clock.Waiter
 }
 
 func newLocalDaemon(rt *Runtime, host Host) *LocalDaemon {
 	d := &LocalDaemon{
-		rt:     rt,
-		host:   host,
-		nodes:  make(map[string]*Node),
-		stopCh: make(chan struct{}),
+		rt:    rt,
+		host:  host,
+		nodes: make(map[string]*Node),
+		stopW: rt.clk.NewWaiter(),
 	}
 	if rt.cfg.WatchdogInterval > 0 && rt.cfg.WatchdogTimeout > 0 {
-		go d.watchdog()
+		rt.clk.Go(d.watchdog)
 	}
 	return d
 }
@@ -55,34 +58,42 @@ func (d *LocalDaemon) nodeFinished(n *Node) {
 }
 
 // watchdog periodically checks adopted nodes for liveness; a node silent
-// past the timeout is assumed crashed (§3.6.2).
+// past the timeout is assumed crashed (§3.6.2). The poll blocks through
+// the runtime clock, so under virtual time the scan happens at exact
+// interval multiples of simulated time.
 func (d *LocalDaemon) watchdog() {
-	ticker := time.NewTicker(d.rt.cfg.WatchdogInterval)
-	defer ticker.Stop()
 	for {
-		select {
-		case <-d.stopCh:
+		if d.stopped.Load() {
 			return
-		case <-ticker.C:
-			limit := vclock.FromDuration(d.rt.cfg.WatchdogTimeout)
-			d.mu.Lock()
-			var stale []*Node
-			for _, n := range d.nodes {
-				if n.staleFor() > limit {
-					stale = append(stale, n)
-				}
+		}
+		d.stopW.Wait(d.rt.cfg.WatchdogInterval)
+		if d.stopped.Load() {
+			return
+		}
+		limit := vclock.FromDuration(d.rt.cfg.WatchdogTimeout)
+		d.mu.Lock()
+		var stale []*Node
+		for _, n := range d.nodes {
+			if n.staleFor() > limit {
+				stale = append(stale, n)
 			}
-			d.mu.Unlock()
-			for _, n := range stale {
-				d.rt.cfg.Logf("core: watchdog on %s: node %s silent for %v; declaring crashed",
-					d.host.Name, n.Nickname(), n.staleFor().Duration())
-				n.crash()
-			}
+		}
+		d.mu.Unlock()
+		// Crash in nickname order: map iteration order must not leak into
+		// the recorded timelines (virtual-time runs are byte-reproducible).
+		sort.Slice(stale, func(i, j int) bool { return stale[i].Nickname() < stale[j].Nickname() })
+		for _, n := range stale {
+			d.rt.cfg.Logf("core: watchdog on %s: node %s silent for %v; declaring crashed",
+				d.host.Name, n.Nickname(), n.staleFor().Duration())
+			n.crash()
 		}
 	}
 }
 
-func (d *LocalDaemon) stop() { d.stopOnce.Do(func() { close(d.stopCh) }) }
+func (d *LocalDaemon) stop() {
+	d.stopped.Store(true)
+	d.stopW.Wake()
+}
 
 // CentralDaemon manages experiments (§3.5.1): it starts the state machines
 // the node file marks for auto-start, aborts hung experiments after the

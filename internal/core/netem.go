@@ -111,7 +111,7 @@ func (r *Runtime) Epoch() uint64 {
 func (r *Runtime) ExpAfterFunc(d time.Duration, fn func()) {
 	ne := r.netem
 	epoch := r.Epoch()
-	time.AfterFunc(d, func() {
+	r.clk.AfterFunc(d, func() {
 		ne.expMu.RLock()
 		defer ne.expMu.RUnlock()
 		r.mu.Lock()

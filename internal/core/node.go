@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/faultexpr"
 	"repro/internal/spec"
 	"repro/internal/timeline"
@@ -57,6 +58,13 @@ type Node struct {
 	done      chan struct{}
 	appDone   chan struct{}
 	lastAlive atomic.Int64 // physical ticks of last activity, for the watchdog
+
+	// waiters are the goroutines blocked in Handle.Sleep/WaitMessage on
+	// this node, woken on message delivery and on every terminal
+	// transition. A slice, not a map: wake order must be deterministic
+	// under virtual time.
+	wmu     sync.Mutex
+	waiters []clock.Waiter
 }
 
 // Lifecycle outcomes.
@@ -126,9 +134,10 @@ func (n *Node) ViewSnapshot() faultexpr.MapView {
 	return n.view.Snapshot()
 }
 
-// run starts the application goroutine.
+// run starts the application goroutine (through the runtime clock, so the
+// virtual scheduler tracks it).
 func (n *Node) run() {
-	go func() {
+	n.rt.clk.Go(func() {
 		defer func() {
 			if rec := recover(); rec != nil {
 				// An uncaught panic in the application is a process crash
@@ -140,8 +149,42 @@ func (n *Node) run() {
 			n.finish()
 		}()
 		n.def.App.Main(n.handle)
-	}()
+	})
 }
+
+// addWaiter registers a goroutine blocked on this node's events.
+func (n *Node) addWaiter(w clock.Waiter) {
+	n.wmu.Lock()
+	n.waiters = append(n.waiters, w)
+	n.wmu.Unlock()
+}
+
+// removeWaiter deregisters w.
+func (n *Node) removeWaiter(w clock.Waiter) {
+	n.wmu.Lock()
+	for i, nw := range n.waiters {
+		if nw == w {
+			n.waiters = append(n.waiters[:i], n.waiters[i+1:]...)
+			break
+		}
+	}
+	n.wmu.Unlock()
+}
+
+// wakeWaiters unblocks every goroutine waiting on this node — called when
+// a message is delivered and when the node stops. Waking is cheap and
+// spurious wakes are harmless (waiters loop and re-check).
+func (n *Node) wakeWaiters() {
+	n.wmu.Lock()
+	ws := append([]clock.Waiter(nil), n.waiters...)
+	n.wmu.Unlock()
+	for _, w := range ws {
+		w.Wake()
+	}
+}
+
+// stopping reports whether the node has left the running state.
+func (n *Node) stopping() bool { return atomic.LoadInt32(&n.lifecycle) != lcRunning }
 
 // finish resolves the node's terminal state after Main returns.
 func (n *Node) finish() {
@@ -159,6 +202,7 @@ func (n *Node) finish() {
 		close(n.done)
 	}
 	n.lifeMu.Unlock()
+	n.wakeWaiters()
 	n.host.daemon.nodeFinished(n)
 	n.rt.nodeFinished(n)
 }
@@ -189,6 +233,7 @@ func (n *Node) crash() {
 	n.recorder.RecordStateChange(spec.EventCrash, spec.StateCrash, at)
 	n.broadcast(spec.StateCrash, n.def.Spec.NotifyList(spec.StateCrash))
 	close(n.done)
+	n.wakeWaiters()
 }
 
 // kill force-terminates without recording a crash state transition beyond a
@@ -202,6 +247,7 @@ func (n *Node) kill() {
 	atomic.StoreInt32(&n.lifecycle, lcKilled)
 	n.recorder.RecordNote("killed by central daemon")
 	close(n.done)
+	n.wakeWaiters()
 }
 
 // Outcome reports how the node terminated: "running", "exited", "crashed",
@@ -372,17 +418,44 @@ func (h *Handle) Crashed() bool { return atomic.LoadInt32(&h.node.lifecycle) == 
 
 // Sleep pauses the application for d, returning false immediately if the
 // node is stopped first. The application should use this instead of
-// time.Sleep so kills are prompt.
+// time.Sleep so kills are prompt (and so virtual time can skip the wait).
 func (h *Handle) Sleep(d time.Duration) bool {
-	h.node.touch()
-	select {
-	case <-time.After(d):
-		h.node.touch()
-		return true
-	case <-h.node.done:
+	n := h.node
+	n.touch()
+	if n.stopping() {
 		return false
 	}
+	if d <= 0 {
+		return true
+	}
+	clk := n.rt.clk
+	deadline := clk.Now().Add(d)
+	w := clk.NewWaiter()
+	n.addWaiter(w)
+	defer n.removeWaiter(w)
+	for {
+		if n.stopping() {
+			return false
+		}
+		rem := deadline.Sub(clk.Now())
+		if rem <= 0 {
+			n.touch()
+			return true
+		}
+		w.Wait(rem)
+	}
 }
+
+// Clock returns the runtime's scheduling clock. Instrumented applications
+// must take timestamps and measure elapsed time through it — never the
+// time package — so the same application runs unchanged under virtual
+// time.
+func (h *Handle) Clock() clock.Clock { return h.node.rt.clk }
+
+// Go spawns an application goroutine through the runtime clock. Any app
+// goroutine that sleeps or waits must be started this way, or the virtual
+// scheduler cannot see it.
+func (h *Handle) Go(fn func()) { h.node.rt.clk.Go(fn) }
 
 // Heartbeat refreshes the watchdog without any other effect. Long-running
 // computations should call it; a node silent past the watchdog timeout is

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/faultexpr"
 	"repro/internal/spec"
 	"repro/internal/timeline"
@@ -39,6 +41,12 @@ type Host struct {
 type Config struct {
 	// Source is the shared physical time base. Defaults to a SystemSource.
 	Source vclock.Source
+	// Clock is the scheduling clock the runtime blocks and defers through.
+	// Defaults to the wall clock; a virtual-time campaign supplies a
+	// clock.Virtual here (with Source set to its Source()) so delivery
+	// delays, watchdog polls, and experiment timeouts run in simulated
+	// time.
+	Clock clock.Clock
 	// LocalDelay is the injected latency for same-host (IPC) notification
 	// hops; the thesis measures ~20 µs (§3.4.2).
 	LocalDelay time.Duration
@@ -69,6 +77,7 @@ type Config struct {
 type Runtime struct {
 	cfg    Config
 	source vclock.Source
+	clk    clock.Clock
 
 	// netem is the application-bus traffic shaping state (netem.go); it
 	// has its own lock and is consulted on every Handle.Send.
@@ -84,7 +93,7 @@ type Runtime struct {
 	remoteNicks   []string          // cached sorted remote nicknames (transport.go)
 	remoteNicksOK bool
 	active        int
-	cond          *sync.Cond
+	doneWaiters   []clock.Waiter // Wait callers, woken when active hits zero
 	stopped       bool
 	sealed        bool                            // experiment over; no nodes may start until reset
 	actionHook    func(n *Node, f faultexpr.Spec) // built-in action dispatcher (netem.go)
@@ -113,12 +122,16 @@ func New(cfg Config) *Runtime {
 	if cfg.Source == nil {
 		cfg.Source = vclock.NewSystemSource()
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
 	r := &Runtime{
 		cfg:       cfg,
 		source:    cfg.Source,
+		clk:       cfg.Clock,
 		netem:     newNetem(1),
 		hosts:     make(map[string]*hostState),
 		defs:      make(map[string]*NodeDef),
@@ -127,12 +140,14 @@ func New(cfg Config) *Runtime {
 		outcomes:  make(map[string]string),
 		placement: make(map[string]string),
 	}
-	r.cond = sync.NewCond(&r.mu)
 	return r
 }
 
 // Source returns the runtime's physical time base.
 func (r *Runtime) Source() vclock.Source { return r.source }
+
+// Clock returns the runtime's scheduling clock.
+func (r *Runtime) Clock() clock.Clock { return r.clk }
 
 // Logf forwards to the runtime's configured diagnostic sink (Config.Logf;
 // a no-op by default). The chaos engine reports action failures here.
@@ -332,27 +347,40 @@ func (r *Runtime) LiveNodes() []string {
 // the central daemon does (§3.5.1). It reports whether completion was
 // natural (true) or by timeout (false).
 func (r *Runtime) Wait(timeout time.Duration) bool {
-	done := make(chan struct{})
-	go func() {
+	w := r.clk.NewWaiter()
+	r.mu.Lock()
+	r.doneWaiters = append(r.doneWaiters, w)
+	r.mu.Unlock()
+	defer r.dropDoneWaiter(w)
+
+	var timedOut atomic.Bool
+	if timeout > 0 {
+		t := r.clk.AfterFunc(timeout, func() {
+			timedOut.Store(true)
+			r.KillAll()
+		})
+		defer t.Stop()
+	}
+	for {
 		r.mu.Lock()
-		for r.active > 0 {
-			r.cond.Wait()
-		}
+		active := r.active
 		r.mu.Unlock()
-		close(done)
-	}()
-	if timeout <= 0 {
-		<-done
-		return true
+		if active == 0 {
+			return !timedOut.Load()
+		}
+		w.Wait(-1)
 	}
-	select {
-	case <-done:
-		return true
-	case <-time.After(timeout):
-		r.KillAll()
-		<-done
-		return false
+}
+
+func (r *Runtime) dropDoneWaiter(w clock.Waiter) {
+	r.mu.Lock()
+	for i, dw := range r.doneWaiters {
+		if dw == w {
+			r.doneWaiters = append(r.doneWaiters[:i], r.doneWaiters[i+1:]...)
+			break
+		}
 	}
+	r.mu.Unlock()
 }
 
 // KillAll forcibly terminates every live node (central daemon abort path).
@@ -387,15 +415,19 @@ func (r *Runtime) Shutdown() {
 // experiment completion (§3.5.2: local daemons check on every exit/crash).
 func (r *Runtime) nodeFinished(n *Node) {
 	r.mu.Lock()
+	var wake []clock.Waiter
 	if r.nodes[n.Nickname()] == n {
 		delete(r.nodes, n.Nickname())
 		r.outcomes[n.Nickname()] = n.Outcome()
 		r.active--
 		if r.active == 0 {
-			r.cond.Broadcast()
+			wake = append(wake, r.doneWaiters...)
 		}
 	}
 	r.mu.Unlock()
+	for _, w := range wake {
+		w.Wake()
+	}
 }
 
 // Outcomes returns how each finished node terminated ("exited", "crashed",
@@ -477,10 +509,10 @@ func (r *Runtime) route(fromHost string, note stateNote, to string) {
 	}
 	deliver := func() { target.remoteNotify(note) }
 	if delay <= 0 {
-		go deliver()
+		r.clk.Go(deliver)
 		return
 	}
-	time.AfterFunc(delay, deliver)
+	r.clk.AfterFunc(delay, deliver)
 }
 
 // newLocalTimeline builds the timeline header for a fresh node, extending

@@ -107,11 +107,11 @@ func DelayedCrashFault(dormancy, jitter time.Duration, seed int64) Action {
 				d = 0
 			}
 		}
-		go func() {
+		h.Go(func() {
 			if h.Sleep(d) {
 				h.Crash()
 			}
-		}()
+		})
 	}
 }
 
@@ -226,17 +226,30 @@ func MessageLossRateFault(d *MessageDropper, p float64) Action {
 	}
 }
 
-// CPUFault burns wall-clock time on injection, modeling a CPU hog or a
-// livelocked thread; the node stays alive (it heartbeats) but stops making
-// progress for the duration.
+// CPUFault holds the node hostage for the duration, modeling a CPU hog or
+// a livelocked thread; the node stays alive (it heartbeats between slices)
+// but stops making progress. The hog elapses on the runtime clock in 1 ms
+// slices, so under virtual time the hold costs no host CPU at all.
 func CPUFault(busy time.Duration) Action {
 	return func(h *core.Handle) {
-		deadline := time.Now().Add(busy)
-		for time.Now().Before(deadline) {
-			if h != nil {
-				h.Heartbeat()
+		if h == nil {
+			return // no node to hold hostage
+		}
+		clk := h.Clock()
+		deadline := clk.Now().Add(busy)
+		for {
+			rem := deadline.Sub(clk.Now())
+			if rem <= 0 {
+				break
 			}
-			time.Sleep(time.Millisecond)
+			h.Heartbeat()
+			slice := time.Millisecond
+			if rem < slice {
+				slice = rem
+			}
+			if !h.Sleep(slice) {
+				return // node stopping; the hog dies with it
+			}
 		}
 		note(h, "cpu fault: hog finished")
 	}

@@ -166,7 +166,14 @@ func NewClock(source Source, cfg ClockConfig) *Clock {
 // NewPerfectClock returns a clock that reads the source exactly.
 func NewPerfectClock(source Source) *Clock { return NewClock(source, ClockConfig{}) }
 
-// Now returns the host-local time. Successive readings never decrease.
+// Now returns the host-local time. Successive readings never decrease;
+// with zero granularity they strictly increase: a cycle-accurate clock
+// (the processor timestamp counter the thesis prefers, §2.5) never
+// returns the same reading twice, which is what lets the analysis phase
+// order same-clock records exactly. Under a discrete-event source the
+// underlying time may not move between two reads, so the strictness is
+// enforced here. Clocks with a read granularity keep the floored value:
+// equal readings on a coarse clock are real, unorderable behaviour.
 func (c *Clock) Now() Ticks {
 	t := c.At(c.source.Now())
 	c.mu.Lock()
@@ -175,8 +182,11 @@ func (c *Clock) Now() Ticks {
 	if c.rng != nil {
 		t += Ticks(c.rng.Int63n(int64(c.jitter)))
 	}
-	if t < c.last {
+	if t <= c.last {
 		t = c.last
+		if c.granularity == 0 {
+			t++
+		}
 	}
 	c.last = t
 	return t
@@ -187,8 +197,9 @@ func (c *Clock) Now() Ticks {
 // At/AlphaBeta ground truth: a stepped clock violates the affine model the
 // off-line synchronization assumes, which is exactly the misbehaviour a
 // chaos campaign wants the analysis phase to face. Monotonicity of Now is
-// preserved: after a negative step, readings hold at the previous maximum
-// until the clock catches up, like a monotonic-clamped OS clock.
+// preserved: after a negative step, readings creep forward from the
+// previous maximum until the clock catches up, like a monotonic-clamped
+// OS clock under slewing.
 func (c *Clock) Step(delta Ticks) {
 	c.mu.Lock()
 	c.stepped += delta

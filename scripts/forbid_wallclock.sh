@@ -1,0 +1,36 @@
+#!/bin/sh
+# Guardrail: no direct wall-clock calls in internal/ outside the injected
+# clock abstraction. Every time source the engine or the built-in
+# applications block on must go through clock.Clock (internal/clock), or
+# virtual-time campaigns silently fall out of sync with real ones.
+#
+# Allowlisted exceptions, each a documented boundary with real time:
+#   - internal/clock/        the abstraction itself (Real wraps the time
+#                            package; SpinWait's sub-millisecond spin).
+#   - internal/vclock/       NewSystemSource is the sanctioned wall-clock
+#                            tick source behind the host-clock geometry.
+#   - internal/campaign/cluster.go
+#                            socket retry/ack timeouts: cluster peers are
+#                            separate processes on real sockets and can
+#                            never run under virtual time (Open rejects
+#                            the combination).
+#   - *_test.go              tests may time themselves.
+#
+# Run from the repository root: scripts/forbid_wallclock.sh
+set -eu
+
+pattern='time\.(Now|Sleep|After|AfterFunc|NewTimer|NewTicker|Tick|Since|Until)\('
+
+matches=$(grep -rnE --include='*.go' "$pattern" internal/ \
+  | grep -v '_test\.go:' \
+  | grep -v '^internal/clock/' \
+  | grep -v '^internal/vclock/' \
+  | grep -v '^internal/campaign/cluster\.go:' \
+  || true)
+
+if [ -n "$matches" ]; then
+  echo "wall-clock calls outside internal/clock (use the injected clock.Clock):" >&2
+  echo "$matches" >&2
+  exit 1
+fi
+echo "forbid_wallclock: clean"

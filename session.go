@@ -124,6 +124,26 @@ func WithTransport(kind string) Option {
 	}
 }
 
+// WithVirtualTime runs the session's studies on a simulated clock: every
+// wait in the engine and the applications — sync spacing, fault dormancy,
+// heartbeats, watchdog polls, experiment timeouts — completes instantly in
+// wall-clock terms while the recorded timestamps keep the configured
+// host-clock offset/drift geometry, so the analysis phase sees the same
+// convex-hull estimation problem a real-time run poses. Requires the
+// inproc transport (sockets carry real wall-clock latency) and no cluster.
+//
+// Under virtual time, application code must block only through Handle and
+// Clock primitives (Handle.Sleep, Handle.WaitMessage, Handle.Go,
+// Clock.NewWaiter) — a raw channel receive or time.Sleep is invisible to
+// the virtual scheduler and would either freeze simulated time or be
+// skipped over by it.
+func WithVirtualTime() Option {
+	return func(s *Session) error {
+		s.c.VirtualTime = true
+		return nil
+	}
+}
+
 // WithCheckpoint journals every completed experiment record to
 // dir/checkpoint.jsonl; with resume, journaled records are skipped on the
 // next Run, restarting a killed campaign at the first missing experiment.
@@ -258,6 +278,21 @@ func Open(spec any, opts ...Option) (*Session, error) {
 	}
 	if s.cluster != nil && len(s.c.Studies) != 1 {
 		return nil, fmt.Errorf("loki: cluster mode needs exactly one study, have %d", len(s.c.Studies))
+	}
+	if s.c.VirtualTime {
+		if s.cluster != nil {
+			return nil, fmt.Errorf("loki: virtual time cannot drive a cluster (peer processes keep real clocks)")
+		}
+		if s.transport != "" && s.transport != TransportInproc {
+			return nil, fmt.Errorf("loki: virtual time requires the inproc transport, not %q", s.transport)
+		}
+		if s.transport == "" {
+			for _, st := range s.c.Studies {
+				if st.Transport != "" && st.Transport != TransportInproc {
+					return nil, fmt.Errorf("loki: study %q: virtual time requires the inproc transport, not %q", st.Name, st.Transport)
+				}
+			}
+		}
 	}
 	return s, nil
 }

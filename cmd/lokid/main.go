@@ -36,6 +36,10 @@
 // OUT/checkpoint.jsonl when it completes; re-invoking with -resume
 // rewrites the artifacts from the journal instead of rerunning.
 //
+// Observability: -v LEVEL streams structured engine diagnostics to
+// stderr; -metrics ADDR serves Prometheus text at http://ADDR/metrics
+// plus the pprof endpoints under /debug/pprof for the daemon's lifetime.
+//
 // Continue the pipeline with:
 //
 //	alphabeta  -stamps DIR/timestamps.txt -out DIR/alphabeta.txt
@@ -47,6 +51,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -70,6 +77,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		outDir     = flag.String("out", "", "output directory (required for single-process and coordinator)")
 		resume     = flag.Bool("resume", false, "resume from OUT/checkpoint.jsonl: a journaled experiment is not rerun, its artifacts are rewritten from the journal")
+
+		verbosity   = flag.String("v", "", "stream structured engine diagnostics to stderr at this level: debug, info, warn, or error")
+		metricsAddr = flag.String("metrics", "", "serve Prometheus metrics at http://ADDR/metrics (pprof under /debug/pprof)")
 
 		transportKind = flag.String("transport", "", "socket transport for multi-process mode: udp or tcp")
 		name          = flag.String("name", "", "this process's peer name (multi-process mode)")
@@ -114,8 +124,18 @@ func main() {
 	}
 
 	var opts []loki.Option
+	if *verbosity != "" {
+		lv, err := loki.ParseLogLevel(*verbosity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, loki.WithLogging(os.Stderr, lv))
+	}
+	if *metricsAddr != "" {
+		opts = append(opts, loki.WithMetrics())
+	}
 	if *outDir != "" {
-		opts = append(opts, loki.WithArtifacts(*outDir))
+		opts = append(opts, loki.WithArtifacts(*outDir), loki.WithMetrics())
 	}
 	if *resume {
 		if *outDir == "" {
@@ -131,6 +151,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer s.Close()
+
+	if *metricsAddr != "" {
+		shutdown, err := serveMetrics(*metricsAddr, s.Metrics())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+	}
 
 	if cluster != nil {
 		coordinator, err := s.ClusterCoordinator()
@@ -207,6 +235,32 @@ func main() {
 	for nick, outcome := range e.Record.Outcomes {
 		fmt.Printf("node %s: %s\n", nick, outcome)
 	}
+}
+
+// serveMetrics exposes the session's registry as Prometheus text at
+// /metrics and the runtime profiles under /debug/pprof on addr. The
+// listener is bound synchronously so a bad address fails at startup, not
+// in a goroutine's log output.
+func serveMetrics(addr string, reg *loki.MetricsRegistry) (shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-metrics %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("metrics server: %v", err)
+		}
+	}()
+	fmt.Printf("metrics at http://%s/metrics\n", ln.Addr())
+	return func() { srv.Close() }, nil
 }
 
 // loadOrAssemble returns the campaign description: loaded from -config or

@@ -30,8 +30,15 @@
 // DIR/checkpoint.jsonl as it finishes; -resume skips the journaled
 // experiments and executes only the missing ones; -status summarizes the
 // journal (complete/missing/accepted per study or point) without running
-// anything. Ctrl-C cancels cleanly: no further experiments start,
+// anything — a live, still-appending journal is reported as in-flight,
+// not an error. Ctrl-C cancels cleanly: no further experiments start,
 // in-flight ones drain into the journal.
+//
+// Observability: -v LEVEL streams the engines' structured diagnostics to
+// stderr; -progress DUR prints a live completion/ETA line at that
+// interval; -trace writes one trace artifact per experiment under
+// OUT/traces (convert with internal/obs WriteChrome for Perfetto). With
+// -out, engine metrics are snapshotted to OUT/metrics.json after the run.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -71,6 +79,9 @@ func main() {
 		virtualTime  = flag.Bool("virtual-time", false, "run on a simulated clock: instant wall-clock studies, identical analysis (inproc only)")
 		outDir       = flag.String("out", "", "artifact directory; completed experiments are journaled to DIR/checkpoint.jsonl")
 		resume       = flag.Bool("resume", false, "resume from the checkpoint journal: run only the missing experiments")
+		verbosity    = flag.String("v", "", "stream structured engine diagnostics to stderr at this level: debug, info, warn, or error")
+		progressD    = flag.Duration("progress", 0, "print a live progress line (completed/accepted/ETA) at this interval")
+		traceOn      = flag.Bool("trace", false, "write one structured trace per experiment under OUT/traces (requires -out)")
 	)
 	flag.Parse()
 	if *configPath == "" && *nodesPath == "" {
@@ -118,8 +129,23 @@ func main() {
 	if *virtualTime {
 		opts = append(opts, loki.WithVirtualTime())
 	}
+	if *verbosity != "" {
+		lv, err := loki.ParseLogLevel(*verbosity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, loki.WithLogging(os.Stderr, lv))
+	}
 	if *outDir != "" {
-		opts = append(opts, loki.WithArtifacts(*outDir))
+		// Metrics ride along for free whenever artifacts are wanted: the
+		// run ends with OUT/metrics.json next to the timelines.
+		opts = append(opts, loki.WithArtifacts(*outDir), loki.WithMetrics())
+	}
+	if *traceOn {
+		if *outDir == "" {
+			log.Fatal("-trace requires -out (traces are written under OUT/traces)")
+		}
+		opts = append(opts, loki.WithTracing(""))
 	}
 	if *resume {
 		dir := *outDir
@@ -148,7 +174,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	var stopProgress func()
+	if *progressD > 0 {
+		stopProgress = startProgress(s, *progressD)
+	}
 	res, err := s.Run(ctx)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -257,6 +290,89 @@ func printRecord(rec *loki.ExperimentRecord) {
 	}
 }
 
+// progressTracker accumulates live Session events into per-point
+// completion state for the -progress ticker.
+type progressTracker struct {
+	mu     sync.Mutex
+	start  time.Time
+	points map[string]*pointProgress
+}
+
+type pointProgress struct {
+	total, done, accepted int
+	baseline              int // journaled records already complete at study start (resume)
+	started, finished     bool
+}
+
+func (p *progressTracker) observe(ev loki.ProgressEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ps := p.points[ev.Point]
+	if ps == nil {
+		ps = &pointProgress{}
+		p.points[ev.Point] = ps
+	}
+	ps.total = ev.Experiments
+	ps.done = ev.Completed
+	ps.accepted = ev.Accepted
+	switch ev.Kind {
+	case loki.EventStudyStart:
+		ps.started, ps.baseline = true, ev.Completed
+	case loki.EventStudyDone:
+		ps.finished = true
+	}
+}
+
+// line renders one progress snapshot: totals, rate, and an ETA projected
+// from the experiments completed since this run started (journaled
+// records resumed past are excluded from the rate).
+func (p *progressTracker) line(now time.Time) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total, done, accepted, fresh, active int
+	for _, ps := range p.points {
+		total += ps.total
+		done += ps.done
+		accepted += ps.accepted
+		fresh += ps.done - ps.baseline
+		if ps.started && !ps.finished {
+			active++
+		}
+	}
+	line := fmt.Sprintf("progress: %d/%d experiments complete, %d accepted, %d point(s) active",
+		done, total, accepted, active)
+	elapsed := now.Sub(p.start)
+	if fresh > 0 && done < total && elapsed > 0 {
+		eta := time.Duration(float64(elapsed) / float64(fresh) * float64(total-done))
+		line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+	}
+	return line
+}
+
+// startProgress subscribes a tracker to the session's live events and
+// prints one line per interval until the returned stop is called.
+func startProgress(s *loki.Session, every time.Duration) (stop func()) {
+	pt := &progressTracker{start: time.Now(), points: make(map[string]*pointProgress)}
+	cancel := s.Watch(pt.observe)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				fmt.Println(pt.line(now))
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		close(done)
+	}
+}
+
 // printStatus renders the checkpoint-journal summary.
 func printStatus(st *loki.SessionStatus) {
 	fmt.Printf("journal %s\n", st.JournalPath)
@@ -266,8 +382,11 @@ func printStatus(st *loki.SessionStatus) {
 	} else {
 		fmt.Printf(" (DOES NOT match this configuration; -resume would refuse it)\n")
 	}
+	if st.Appending || st.InFlight > 0 {
+		fmt.Printf("journal is live: %d experiment(s) in flight; counts cover fsync'd records\n", st.InFlight)
+	}
 	if st.Torn {
-		fmt.Println("journal tail is torn (crash mid-append); counts cover the intact prefix")
+		fmt.Println("journal tail is garbled (damaged file); counts cover the intact prefix")
 	}
 	fmt.Printf("%-32s %9s %9s %9s %9s\n", "point", "expected", "complete", "missing", "accepted")
 	for _, p := range st.Points {

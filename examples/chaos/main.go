@@ -31,7 +31,11 @@ import (
 	"context"
 	_ "embed"
 	"fmt"
+	"io/fs"
 	"log"
+	"os"
+	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	loki "repro"
@@ -180,5 +184,59 @@ func main() {
 	stats := loki.ComputeMoments(values)
 	fmt.Printf("crashrestart scenario: %d accepted experiments, %d with a green crash\n",
 		crashGlobals, stats.N)
-	fmt.Printf("recovery coverage of a green host crash: %.3f\n", stats.Mean())
+	fmt.Printf("recovery coverage of a green host crash: %.3f\n\n", stats.Mean())
+
+	// Observability: the same virtual matrix once more, this time watched.
+	// A progress observer counts live experiment completions, the metric
+	// registry tallies verdicts and phase latencies, and every experiment
+	// writes a trace under traces/<point>/expNNN.trace.jsonl whose
+	// timestamps come from the virtual clock — run it twice and the trace
+	// bytes are identical. Convert a trace with loki.DecodeTrace +
+	// Trace.WriteChrome and load it in Perfetto (https://ui.perfetto.dev)
+	// to see the phase spans.
+	traceDir, err := os.MkdirTemp("", "chaos-traces-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := loki.ParseCampaignFile(campaignJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var progressEvents atomic.Int64
+	s, err := loki.Open(cfg,
+		loki.WithVirtualTime(),
+		loki.WithMetrics(),
+		loki.WithTracing(traceDir),
+		loki.WithObserver(func(ev loki.ProgressEvent) {
+			if ev.Kind == loki.EventExperiment {
+				progressEvents.Add(1)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	oRes, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, oTotal := oRes.Matrix.AcceptedTotal()
+	fmt.Printf("observed run: %d experiments, %d live progress events\n", oTotal, progressEvents.Load())
+	snap := s.Metrics().Snapshot()
+	for _, series := range []string{
+		`loki_experiments_total{result="accepted"}`,
+		`loki_experiments_total{result="rejected"}`,
+		`loki_chaos_actions_total`,
+	} {
+		fmt.Printf("metric %s = %d\n", series, snap.Counters[series])
+	}
+	traces := 0
+	filepath.WalkDir(traceDir, func(p string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			traces++
+		}
+		return nil
+	})
+	fmt.Printf("trace artifacts under %s: %d files\n", traceDir, traces)
 }

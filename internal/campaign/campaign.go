@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -22,8 +23,10 @@ import (
 	"repro/internal/clocksync"
 	"repro/internal/core"
 	"repro/internal/faultexpr"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/timeline"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 )
 
@@ -101,6 +104,18 @@ type Campaign struct {
 	// inproc transport — socket studies and lokid stay real-time — and is
 	// part of the journal fingerprint: virtual and real records never mix.
 	VirtualTime bool
+	// Obs, when non-nil, wires the observability sink into every engine:
+	// per-experiment traces (Obs.TraceDir), engine metrics (Obs.Metrics),
+	// live progress events (Obs.Watch), and structured diagnostics
+	// (Obs.Log). Nil disables all of it at zero cost on the hot paths; the
+	// sink is deliberately excluded from the checkpoint fingerprint, so
+	// resuming with observability toggled reuses the journal.
+	Obs *obs.Sink
+
+	// matrixPoint, set on the per-point campaigns the matrix engine
+	// derives, names the point for traces and progress events even when
+	// the built study carries its own Name and no journal is attached.
+	matrixPoint string
 }
 
 // ExperimentRecord is everything one experiment produced.
@@ -402,7 +417,7 @@ func RunSingleContext(ctx context.Context, c *Campaign) (*ExperimentRecord, []cl
 	}
 	defer rt.Shutdown()
 
-	raw, err := runRuntimePhase(c, st, rt, cd, ref, 0, timeout)
+	raw, err := runRuntimePhase(c, st, rt, cd, ref, st.Name, 0, timeout)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -439,6 +454,14 @@ type rawExperiment struct {
 	// semantics everywhere else.
 	syncError string
 	ref       string
+	// trace is the experiment's span/event collection (nil with tracing
+	// off). traceEnd is the runtime clock's reading at the end of the
+	// phase, captured inside the virtual-time Drive window: the analysis
+	// stage runs on untracked goroutines that race later Drive windows, so
+	// its trace entries reuse this timestamp instead of reading the clock —
+	// the virtual-time artifact stays byte-reproducible.
+	trace    *obs.Trace
+	traceEnd time.Time
 }
 
 func (raw *rawExperiment) allStamps() []clocksync.StampedMessage {
@@ -455,6 +478,7 @@ func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon
 	// core.New defaults a nil Source to a fresh SystemSource, giving each
 	// worker its own time base unless the campaign supplies a shared one.
 	cfg := c.Runtime
+	cfg.Obs = c.Obs
 	if c.VirtualTime {
 		// Each worker owns a private virtual-time scheduler: the host
 		// clocks' hidden offset/drift geometry is applied over simulated
@@ -480,6 +504,9 @@ func newStudyRuntime(c *Campaign, st *Study) (*core.Runtime, *core.CentralDaemon
 			return nil, nil, "", err
 		}
 		chaos.Attach(rt, st.ChaosSeed)
+	}
+	if tr := rt.Transport(); tr != nil {
+		transport.SetObserver(tr, c.Obs.TransportMetrics(tr.Name()))
 	}
 	return rt, core.NewCentralDaemon(rt), referenceHost(rt), nil
 }
@@ -522,6 +549,35 @@ func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*S
 		}
 		missing = append(missing, i)
 	}
+	// Progress events carry cumulative counts, journaled records included,
+	// so a resumed study's watcher sees 7000/10000 — not 0/3000.
+	point := st.Name
+	if c.matrixPoint != "" {
+		point = c.matrixPoint
+	}
+	if sj != nil {
+		point = sj.point
+	}
+	var progressDone, progressAccepted atomic.Int64
+	for _, rec := range records {
+		if rec == nil {
+			continue
+		}
+		progressDone.Add(1)
+		if rec.Accepted {
+			progressAccepted.Add(1)
+		}
+	}
+	c.Obs.Emit(obs.Event{
+		Kind: obs.EventStudyStart, Point: point, Experiments: experiments,
+		Completed: int(progressDone.Load()), Accepted: int(progressAccepted.Load()),
+	})
+	defer func() {
+		c.Obs.Emit(obs.Event{
+			Kind: obs.EventStudyDone, Point: point, Experiments: experiments,
+			Completed: int(progressDone.Load()), Accepted: int(progressAccepted.Load()),
+		})
+	}()
 	if len(missing) == 0 {
 		// Fully journaled: no worker runtimes to build at all, which is
 		// what makes resuming a finished multi-hour study instantaneous.
@@ -578,6 +634,7 @@ func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*S
 		}
 	}()
 
+	cm := c.Obs.CampaignMetrics()
 	rawCh := make(chan *rawExperiment, workers)
 	var runWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -590,8 +647,27 @@ func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*S
 				return
 			}
 			defer rt.Shutdown()
+			if cm != nil {
+				// Export the worker's virtual-clock activity when it
+				// retires; the scheduler's counters are cumulative over the
+				// worker's whole run.
+				defer func() {
+					if v, ok := rt.Clock().(*clock.Virtual); ok {
+						s := v.Stats()
+						cm.VClockTimersFired.Add(s.FiredTimers)
+						cm.VClockTasks.Add(s.Tasks)
+					}
+				}()
+			}
 			for i := range idxCh {
-				raw, err := runRuntimePhase(c, st, rt, cd, ref, i, timeout)
+				var busy time.Time
+				if cm != nil {
+					busy = obs.Now()
+				}
+				raw, err := runRuntimePhase(c, st, rt, cd, ref, point, i, timeout)
+				if cm != nil {
+					cm.WorkerBusySeconds.ObserveSince(busy)
+				}
 				if err != nil {
 					fail(err)
 					return
@@ -626,7 +702,17 @@ func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*S
 				records[raw.index] = rec
 				if err := sj.record(rec); err != nil {
 					fail(err)
+					continue
 				}
+				nDone := int(progressDone.Add(1))
+				if rec.Accepted {
+					progressAccepted.Add(1)
+				}
+				c.Obs.Emit(obs.Event{
+					Kind: obs.EventExperiment, Point: point, Index: raw.index,
+					Experiments: experiments, Completed: nDone,
+					Accepted: int(progressAccepted.Load()), AcceptedOne: rec.Accepted,
+				})
 			}
 		}()
 	}
@@ -647,8 +733,9 @@ func runStudy(ctx context.Context, c *Campaign, st *Study, sj *studyJournal) (*S
 // runRuntimePhase executes one experiment's runtime phase on the worker's
 // runtime: pre-sync mini-phase, the experiment itself (with supervised
 // restarts if configured), post-sync mini-phase, and artifact snapshots.
+// point names the study or matrix point for traces and progress events.
 func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralDaemon,
-	ref string, index int, timeout time.Duration) (*rawExperiment, error) {
+	ref, point string, index int, timeout time.Duration) (*rawExperiment, error) {
 
 	// Under virtual time the worker drives its runtime's scheduler for
 	// the duration of the phase: timers fire (advancing simulated time)
@@ -659,6 +746,23 @@ func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralD
 		defer v.Release()
 	}
 
+	// Phase timestamps come from the runtime clock — the injected wall
+	// clock in real time, the simulated clock under virtual time — so the
+	// trace of a virtual run is byte-reproducible.
+	var tr *obs.Trace
+	if c.Obs.Tracing() {
+		tr = obs.NewTrace(point, index)
+		rt.SetTrace(tr)
+		defer rt.SetTrace(nil)
+	}
+	cm := c.Obs.CampaignMetrics()
+	clk := rt.Clock()
+	var t0, t1, t2, t3, end time.Time
+	observing := tr != nil || cm != nil
+	if observing {
+		t0 = clk.Now()
+	}
+
 	// Reset BEFORE the pre-sync mini-phase: the previous experiment's
 	// faults (a stepped clock above all) must not leak into this
 	// experiment's synchronization stamps, or its clock fit would be
@@ -667,8 +771,24 @@ func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralD
 	// by then.
 	rt.ResetExperiment()
 
+	if observing {
+		t1 = clk.Now()
+		tr.Span("reset", t0, t1)
+		if cm != nil {
+			cm.ResetSeconds.Observe(t1.Sub(t0).Seconds())
+		}
+	}
+
 	// Pre-experiment synchronization mini-phase (§2.3).
 	stamps := exchangeStamps(rt, ref, c.Sync)
+
+	if observing {
+		t2 = clk.Now()
+		tr.Span("clock-sync-pre", t1, t2)
+		if cm != nil {
+			cm.SyncSeconds.Observe(t2.Sub(t1).Seconds())
+		}
+	}
 
 	// Runtime phase, with the supervisor restarting crashed nodes if the
 	// study asks for it.
@@ -684,8 +804,24 @@ func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralD
 		return nil, err
 	}
 
+	if observing {
+		t3 = clk.Now()
+		tr.Span("experiment", t2, t3)
+		if cm != nil {
+			cm.RunSeconds.Observe(t3.Sub(t2).Seconds())
+		}
+	}
+
 	// Post-experiment synchronization mini-phase.
 	postStamps := exchangeStamps(rt, ref, c.Sync)
+
+	if observing {
+		end = clk.Now()
+		tr.Span("clock-sync-post", t3, end)
+		if cm != nil {
+			cm.SyncSeconds.Observe(end.Sub(t3).Seconds())
+		}
+	}
 
 	return &rawExperiment{
 		index:      index,
@@ -695,14 +831,70 @@ func runRuntimePhase(c *Campaign, st *Study, rt *core.Runtime, cd *core.CentralD
 		postStamps: postStamps,
 		locals:     snapshotTimelines(runRes.Timelines),
 		ref:        ref,
+		trace:      tr,
+		traceEnd:   end,
 	}, nil
 }
 
 // analyzeExperiment is the analysis phase for one experiment: off-line
 // clock synchronization, projection onto the global timeline, conservative
 // injection checking (§2.5). It touches no runtime state, which is what
-// lets it run concurrently with later experiments' runtime phases.
+// lets it run concurrently with later experiments' runtime phases. Around
+// the analysis proper it settles the experiment's observability: the
+// verdict counters, the analyze/verdict trace entries, and the trace
+// artifact itself.
 func analyzeExperiment(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentRecord, error) {
+	cm := c.Obs.CampaignMetrics()
+	var wall time.Time
+	if cm != nil {
+		wall = obs.Now()
+	}
+	rec, err := analyzeExperimentRecord(c, st, raw)
+	if err != nil {
+		return rec, err
+	}
+	if cm != nil {
+		// Analysis latency is an operational signal, so it is wall-clock
+		// even under virtual time (analysis runs off the simulated clock's
+		// schedule entirely).
+		cm.AnalyzeSeconds.ObserveSince(wall)
+		switch {
+		case !rec.Completed:
+			cm.Aborted.Inc()
+		case rec.Accepted:
+			cm.Accepted.Inc()
+		default:
+			cm.Rejected.Inc()
+		}
+	}
+	if tr := raw.trace; tr != nil {
+		// The analyze span and verdict event reuse the runtime phase's
+		// final clock reading (see rawExperiment.traceEnd): zero duration,
+		// but deterministic — the analysis goroutine must not read a
+		// virtual clock it does not drive.
+		tr.Span("analyze", raw.traceEnd, raw.traceEnd)
+		tr.Event(raw.traceEnd, obs.CatVerdict, verdictName(rec), rec.AnalysisError)
+		if err := c.Obs.WriteTrace(tr); err != nil {
+			c.Obs.Logf(obs.Warn, "campaign", "trace %s/%d: %v", tr.Point, tr.Index, err)
+		}
+	}
+	return rec, nil
+}
+
+// verdictName names an experiment's analysis verdict for traces and events.
+func verdictName(rec *ExperimentRecord) string {
+	switch {
+	case !rec.Completed:
+		return "aborted"
+	case rec.Accepted:
+		return "accepted"
+	default:
+		return "rejected"
+	}
+}
+
+// analyzeExperimentRecord is the analysis phase proper.
+func analyzeExperimentRecord(c *Campaign, st *Study, raw *rawExperiment) (*ExperimentRecord, error) {
 	rec := &ExperimentRecord{
 		Study:     st.Name,
 		Index:     raw.index,

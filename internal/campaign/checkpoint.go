@@ -9,9 +9,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/clocksync"
+	"repro/internal/obs"
 	"repro/internal/timeline"
 )
 
@@ -176,6 +178,9 @@ type journal struct {
 	f            *os.File
 	entries      map[journalKey]journalRecord
 	headerLoaded bool
+	// cm, when non-nil, receives append and fsync latency observations —
+	// the durability cost every journaled experiment pays.
+	cm *obs.CampaignMetrics
 }
 
 // openCampaignJournal opens (or resumes) the campaign's journal; a nil
@@ -197,7 +202,7 @@ func openCampaignJournal(c *Campaign) (*journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
-	j := &journal{f: f, entries: make(map[journalKey]journalRecord)}
+	j := &journal{f: f, entries: make(map[journalKey]journalRecord), cm: c.Obs.CampaignMetrics()}
 	if cp.Resume {
 		if err := j.load(fp); err != nil {
 			f.Close()
@@ -226,6 +231,66 @@ func openCampaignJournal(c *Campaign) (*journal, error) {
 	return j, nil
 }
 
+// journalTail classifies how a journal scan ended.
+type journalTail int
+
+const (
+	// tailClean: the file ends at a complete, well-formed line.
+	tailClean journalTail = iota
+	// tailAppending: trailing bytes with no newline — a writer is
+	// mid-append (live campaign) or crashed there; the bytes are untrusted
+	// either way.
+	tailAppending
+	// tailGarbled: a complete line that does not parse, or has an unknown
+	// shape (duplicate header, empty object). Nothing at or past it is
+	// trusted.
+	tailGarbled
+)
+
+// scanJournal walks journal lines from r: the header line first (handed to
+// onHeader for verification), then every complete line (handed to onLine),
+// stopping at the first torn or garbled tail. It returns the byte offset
+// of the end of the last trusted line and how the scan ended. The journal
+// loader truncates at that offset; the read-only status reader reports the
+// tail state instead — one scanner, both disciplines. Read errors carry
+// the caller's prefix; onHeader errors are returned verbatim (callbacks
+// prefix their own).
+func scanJournal(r *bufio.Reader, prefix string, onHeader func(journalLine) error, onLine func(journalLine)) (int64, journalTail, error) {
+	var (
+		offset     int64
+		headerSeen bool
+	)
+	for {
+		raw, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(raw) > 0 {
+				return offset, tailAppending, nil
+			}
+			return offset, tailClean, nil
+		}
+		if err != nil {
+			return offset, tailClean, fmt.Errorf("%s: reading journal: %w", prefix, err)
+		}
+		var line journalLine
+		if json.Unmarshal(raw, &line) != nil {
+			return offset, tailGarbled, nil
+		}
+		if !headerSeen {
+			if err := onHeader(line); err != nil {
+				return offset, tailClean, err
+			}
+			headerSeen = true
+			offset += int64(len(raw))
+			continue
+		}
+		if line.Record == nil && line.Done == nil {
+			return offset, tailGarbled, nil
+		}
+		onLine(line)
+		offset += int64(len(raw))
+	}
+}
+
 // load replays the journal: header verification, then (record, done)
 // pairs. A record without its fsync'd done marker — or any torn/garbled
 // tail — is discarded by truncating the file to the last good offset, so
@@ -234,25 +299,9 @@ func (j *journal) load(fingerprint string) error {
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("campaign: checkpoint: %w", err)
 	}
-	var (
-		r       = bufio.NewReaderSize(j.f, 1<<20)
-		offset  int64 // end of the last trusted line
-		pending = make(map[journalKey]journalRecord)
-	)
-scan:
-	for {
-		raw, err := r.ReadBytes('\n')
-		if err == io.EOF {
-			break // no trailing newline: torn tail, drop it
-		}
-		if err != nil {
-			return fmt.Errorf("campaign: checkpoint: reading journal: %w", err)
-		}
-		var line journalLine
-		if json.Unmarshal(raw, &line) != nil {
-			break // garbled line: trust nothing at or past it
-		}
-		if !j.headerLoaded {
+	pending := make(map[journalKey]journalRecord)
+	offset, _, err := scanJournal(bufio.NewReaderSize(j.f, 1<<20), "campaign: checkpoint",
+		func(line journalLine) error {
 			if line.Journal == nil {
 				// First line is valid JSON but not a header: a foreign
 				// file. Refuse to mix records into it.
@@ -267,22 +316,22 @@ scan:
 					line.Journal.Campaign, line.Journal.Fingerprint, fingerprint, j.f.Name())
 			}
 			j.headerLoaded = true
-			offset += int64(len(raw))
-			continue
-		}
-		switch {
-		case line.Record != nil:
-			pending[journalKey{line.Record.Point, line.Record.Index}] = *line.Record
-		case line.Done != nil:
-			key := *line.Done
-			if rec, ok := pending[key]; ok {
-				j.entries[key] = rec
-				delete(pending, key)
+			return nil
+		},
+		func(line journalLine) {
+			switch {
+			case line.Record != nil:
+				pending[journalKey{line.Record.Point, line.Record.Index}] = *line.Record
+			case line.Done != nil:
+				key := *line.Done
+				if rec, ok := pending[key]; ok {
+					j.entries[key] = rec
+					delete(pending, key)
+				}
 			}
-		default:
-			break scan // duplicate header or empty object: garbled tail
-		}
-		offset += int64(len(raw))
+		})
+	if err != nil {
+		return err
 	}
 	if err := j.f.Truncate(offset); err != nil {
 		return fmt.Errorf("campaign: checkpoint: truncating torn journal tail: %w", err)
@@ -300,11 +349,24 @@ func (j *journal) writeLine(line journalLine) error {
 	if err != nil {
 		return fmt.Errorf("campaign: checkpoint: %w", err)
 	}
+	var t0 time.Time
+	if j.cm != nil {
+		t0 = obs.Now()
+	}
 	if _, err := j.f.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("campaign: checkpoint: %w", err)
 	}
+	var t1 time.Time
+	if j.cm != nil {
+		t1 = obs.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	if j.cm != nil {
+		t2 := obs.Now()
+		j.cm.JournalFsyncSeconds.Observe(t2.Sub(t1).Seconds())
+		j.cm.JournalAppendSeconds.Observe(t2.Sub(t0).Seconds())
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/clocksync"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/timeline"
 	"repro/internal/transport"
@@ -151,6 +152,8 @@ func NewMember(c *Campaign, st *Study, tr transport.Transport) (*Member, error) 
 
 	cfg := c.Runtime
 	cfg.Transport = tr
+	cfg.Obs = c.Obs
+	transport.SetObserver(tr, c.Obs.TransportMetrics(tr.Name()))
 	rt := core.New(cfg)
 	for _, h := range c.Hosts {
 		m.hosts = append(m.hosts, h.Name)
@@ -550,35 +553,62 @@ func (m *Member) RunStudyContext(ctx context.Context) (*StudyResult, error) {
 		return nil, err
 	}
 	records := make([]*ExperimentRecord, experiments)
+	point := m.pointName()
+	nDone, nAccepted := 0, 0
+	m.c.Obs.Emit(obs.Event{Kind: obs.EventStudyStart, Point: point, Experiments: experiments})
+	defer func() {
+		m.c.Obs.Emit(obs.Event{
+			Kind: obs.EventStudyDone, Point: point, Experiments: experiments,
+			Completed: nDone, Accepted: nAccepted,
+		})
+	}()
 	executed := false
 	for i := 0; i < experiments; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if rec, err := m.sj.lookup(i); err != nil {
-			return nil, err
-		} else if rec != nil {
-			records[i] = rec
-			continue
-		}
-		executed = true
-		raw, err := m.runOne(i)
-		if err != nil {
-			return nil, fmt.Errorf("campaign: clustered experiment %d: %w", i, err)
-		}
-		rec, err := analyzeExperiment(m.c, m.st, raw)
+		rec, err := m.sj.lookup(i)
 		if err != nil {
 			return nil, err
+		}
+		if rec == nil {
+			executed = true
+			raw, err := m.runOne(i)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: clustered experiment %d: %w", i, err)
+			}
+			if rec, err = analyzeExperiment(m.c, m.st, raw); err != nil {
+				return nil, err
+			}
+			if err := m.sj.record(rec); err != nil {
+				return nil, err
+			}
 		}
 		records[i] = rec
-		if err := m.sj.record(rec); err != nil {
-			return nil, err
+		nDone++
+		if rec.Accepted {
+			nAccepted++
 		}
+		m.c.Obs.Emit(obs.Event{
+			Kind: obs.EventExperiment, Point: point, Index: i, Experiments: experiments,
+			Completed: nDone, Accepted: nAccepted, AcceptedOne: rec.Accepted,
+		})
 	}
 	if !executed {
 		m.flushMembers(experiments)
 	}
 	return &StudyResult{Name: m.st.Name, Records: records}, nil
+}
+
+// pointName names this study (or matrix point) for traces and events.
+func (m *Member) pointName() string {
+	if m.sj != nil {
+		return m.sj.point
+	}
+	if m.c.matrixPoint != "" {
+		return m.c.matrixPoint
+	}
+	return m.st.Name
 }
 
 // RunOne runs a single clustered experiment (cmd/lokid's one-experiment
@@ -624,6 +654,22 @@ func (m *Member) RunOneContext(ctx context.Context) (*ExperimentRecord, []clocks
 func (m *Member) runOne(index int) (*rawExperiment, error) {
 	peers := m.tr.Topology().PeerNames()
 
+	// Clustered runs are always real-time, so the coordinator's trace uses
+	// its runtime clock directly; member-side events stay on the members.
+	var tr *obs.Trace
+	if m.c.Obs.Tracing() {
+		tr = obs.NewTrace(m.pointName(), index)
+		m.rt.SetTrace(tr)
+		defer m.rt.SetTrace(nil)
+	}
+	cm := m.c.Obs.CampaignMetrics()
+	clk := m.rt.Clock()
+	observing := tr != nil || cm != nil
+	var t0, t1, t2, t3, end time.Time
+	if observing {
+		t0 = clk.Now()
+	}
+
 	// Reset barrier: every member on a fresh testbed and the new epoch
 	// before any traffic flows.
 	m.rt.ResetExperiment()
@@ -636,6 +682,14 @@ func (m *Member) runOne(index int) (*rawExperiment, error) {
 		return nil, fmt.Errorf("reset barrier: %w", err)
 	}
 
+	if observing {
+		t1 = clk.Now()
+		tr.Span("reset", t0, t1)
+		if cm != nil {
+			cm.ResetSeconds.Observe(t1.Sub(t0).Seconds())
+		}
+	}
+
 	// Pre-experiment synchronization mini-phase: direct reads for local
 	// hosts, socket round trips for remote ones. A failed phase (loss
 	// burst on a real network) discards this experiment at analysis, but
@@ -645,6 +699,14 @@ func (m *Member) runOne(index int) (*rawExperiment, error) {
 	pre, err := m.clusterStamps()
 	if err != nil {
 		syncErr = fmt.Sprintf("pre-sync: %v", err)
+	}
+
+	if observing {
+		t2 = clk.Now()
+		tr.Span("clock-sync-pre", t1, t2)
+		if cm != nil {
+			cm.SyncSeconds.Observe(t2.Sub(t1).Seconds())
+		}
 	}
 
 	// Start everywhere (idempotent; re-broadcast rides out loss), then
@@ -696,10 +758,26 @@ func (m *Member) runOne(index int) (*rawExperiment, error) {
 		return nil, err
 	}
 
+	if observing {
+		t3 = clk.Now()
+		tr.Span("experiment", t2, t3)
+		if cm != nil {
+			cm.RunSeconds.Observe(t3.Sub(t2).Seconds())
+		}
+	}
+
 	// Post-experiment synchronization mini-phase.
 	post, err := m.clusterStamps()
 	if err != nil && syncErr == "" {
 		syncErr = fmt.Sprintf("post-sync: %v", err)
+	}
+
+	if observing {
+		end = clk.Now()
+		tr.Span("clock-sync-post", t3, end)
+		if cm != nil {
+			cm.SyncSeconds.Observe(end.Sub(t3).Seconds())
+		}
 	}
 
 	ownLocals, ownOutcomes := m.collectResult()
@@ -751,6 +829,8 @@ func (m *Member) runOne(index int) (*rawExperiment, error) {
 		lostTimelines: lost,
 		syncError:     syncErr,
 		ref:           m.ref,
+		trace:         tr,
+		traceEnd:      end,
 	}, nil
 }
 
@@ -783,6 +863,9 @@ func (m *Member) await(op string, index int, expect map[string]bool, own chan bo
 		case <-ticker.C:
 			if time.Now().After(deadline) {
 				return out, fmt.Errorf("timed out awaiting %s from %v (own pending: %v)", op, keys(expect), ownPending)
+			}
+			if tm := m.c.Obs.TransportMetrics(m.tr.Name()); tm != nil {
+				tm.Retries.Inc()
 			}
 			send()
 		}
@@ -837,6 +920,9 @@ func (m *Member) collectResults(index int, peers []string) (map[string][]cluster
 			if time.Now().After(deadline) {
 				return nil, fmt.Errorf("timed out collecting results (have %v)", resultCounts(got))
 			}
+			if tm := m.c.Obs.TransportMetrics(m.tr.Name()); tm != nil {
+				tm.Retries.Inc()
+			}
 			m.broadcastCtrl(opSeal, clusterMsg{Index: index})
 		}
 	}
@@ -876,6 +962,7 @@ func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
 	// reference stamps (which would fabricate a negative transit and
 	// wrongly discard the experiment).
 	topo := m.tr.Topology()
+	tm := m.c.Obs.TransportMetrics(m.tr.Name())
 	for _, host := range m.hosts {
 		if topo.Owner(host) == m.peer {
 			continue
@@ -884,6 +971,10 @@ func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
 		for i := 0; i < cfg.Messages; i++ {
 			m.syncSeq++
 			seq := m.syncSeq
+			var rtt time.Time
+			if tm != nil {
+				rtt = obs.Now()
+			}
 			refSend := refClock.Now()
 			ping := transport.Message{
 				Kind:    transport.KindSyncPing,
@@ -899,6 +990,9 @@ func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
 				continue // a lost round trip only thins the sample set
 			}
 			refRecv := refClock.Now()
+			if tm != nil {
+				tm.RTTSeconds.ObserveSince(rtt)
+			}
 			msgs = append(msgs,
 				clocksync.StampedMessage{
 					SendHost: m.ref, RecvHost: host,

@@ -328,6 +328,7 @@ func RunMatrixContext(ctx context.Context, c *Campaign, m *Matrix) (*MatrixResul
 func pointCampaign(c *Campaign, m *Matrix, p Point, inner int) *Campaign {
 	pc := *c
 	pc.Workers = inner
+	pc.matrixPoint = p.Name()
 	if len(m.Latencies) > 0 {
 		pc.Runtime.LocalDelay = p.Latency.Local
 		pc.Runtime.RemoteDelay = p.Latency.Remote

@@ -259,7 +259,7 @@ func TestStaleClockStepClearedBeforePreSync(t *testing.T) {
 	if err := rt.StepHostClock("h2", 5e6); err != nil { // previous experiment's fault
 		t.Fatal(err)
 	}
-	raw, err := runRuntimePhase(c, st, rt, cd, ref, 0, 5*time.Second)
+	raw, err := runRuntimePhase(c, st, rt, cd, ref, st.Name, 0, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

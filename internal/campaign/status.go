@@ -2,9 +2,7 @@ package campaign
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -40,8 +38,18 @@ type JournalSummary struct {
 	Fingerprint string
 	// Points lists per-point progress, sorted by point name.
 	Points []PointProgress
-	// Torn reports that the journal ends in an incomplete or garbled tail
-	// (a crash mid-append); everything before it is still trusted.
+	// InFlight counts records whose done marker has not landed yet. On a
+	// live journal these are experiments between append and fsync'd
+	// completion; after a crash they are the (at most one, in practice)
+	// appends the next resume will discard.
+	InFlight int
+	// Appending reports trailing bytes without a newline: a writer is
+	// mid-append right now, or crashed there. Either way the bytes are
+	// ignored, not an error.
+	Appending bool
+	// Torn reports a garbled tail — a complete line that does not parse or
+	// has an unknown shape. Everything before it is still trusted, but the
+	// file itself is damaged (a live append never looks like this).
 	Torn bool
 }
 
@@ -68,8 +76,9 @@ func JournalPath(dir string) string { return filepath.Join(dir, journalName) }
 
 // SummarizeJournal reads the checkpoint journal under dir and summarizes
 // it. Only records followed by their completion marker are counted,
-// mirroring what a resume would trust; a torn tail sets Torn instead of
-// being truncated.
+// mirroring what a resume would trust. The tail is classified, never
+// truncated: a live campaign mid-append shows up as Appending and/or
+// InFlight records; Torn is reserved for a genuinely garbled tail.
 func SummarizeJournal(dir string) (*JournalSummary, error) {
 	path := JournalPath(dir)
 	f, err := os.Open(path)
@@ -79,74 +88,55 @@ func SummarizeJournal(dir string) (*JournalSummary, error) {
 	defer f.Close()
 
 	var (
-		r       = bufio.NewReaderSize(f, 1<<20)
 		sum     = &JournalSummary{Path: path}
-		header  = false
 		pending = make(map[journalKey]*recordWire)
 		points  = make(map[string]*PointProgress)
 	)
-	for {
-		raw, err := r.ReadBytes('\n')
-		if err == io.EOF {
-			if len(raw) > 0 {
-				sum.Torn = true // no trailing newline: crash mid-append
-			}
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("campaign: status: reading journal: %w", err)
-		}
-		var line journalLine
-		if json.Unmarshal(raw, &line) != nil {
-			sum.Torn = true
-			break
-		}
-		if !header {
+	_, tail, err := scanJournal(bufio.NewReaderSize(f, 1<<20), "campaign: status",
+		func(line journalLine) error {
 			if line.Journal == nil {
-				return nil, fmt.Errorf("campaign: status: %s is not a checkpoint journal", path)
+				return fmt.Errorf("campaign: status: %s is not a checkpoint journal", path)
 			}
 			if line.Journal.Version != journalVersion {
-				return nil, fmt.Errorf("campaign: status: journal version %d, this build reads %d",
+				return fmt.Errorf("campaign: status: journal version %d, this build reads %d",
 					line.Journal.Version, journalVersion)
 			}
 			sum.Campaign = line.Journal.Campaign
 			sum.Fingerprint = line.Journal.Fingerprint
-			header = true
-			continue
-		}
-		switch {
-		case line.Record != nil:
-			w := line.Record.Experiment
-			pending[journalKey{line.Record.Point, line.Record.Index}] = &w
-			if p := points[line.Record.Point]; p == nil {
-				points[line.Record.Point] = &PointProgress{Point: line.Record.Point, Fingerprint: line.Record.Fingerprint}
+			return nil
+		},
+		func(line journalLine) {
+			switch {
+			case line.Record != nil:
+				w := line.Record.Experiment
+				pending[journalKey{line.Record.Point, line.Record.Index}] = &w
+				if p := points[line.Record.Point]; p == nil {
+					points[line.Record.Point] = &PointProgress{Point: line.Record.Point, Fingerprint: line.Record.Fingerprint}
+				}
+			case line.Done != nil:
+				key := *line.Done
+				w, ok := pending[key]
+				if !ok {
+					return
+				}
+				delete(pending, key)
+				p := points[key.Point]
+				if p == nil {
+					p = &PointProgress{Point: key.Point}
+					points[key.Point] = p
+				}
+				p.Complete++
+				if w.Accepted {
+					p.Accepted++
+				}
 			}
-		case line.Done != nil:
-			key := *line.Done
-			w, ok := pending[key]
-			if !ok {
-				continue
-			}
-			delete(pending, key)
-			p := points[key.Point]
-			if p == nil {
-				p = &PointProgress{Point: key.Point}
-				points[key.Point] = p
-			}
-			p.Complete++
-			if w.Accepted {
-				p.Accepted++
-			}
-		default:
-			sum.Torn = true
-		}
-		if sum.Torn {
-			break
-		}
+		})
+	if err != nil {
+		return nil, err
 	}
-	if len(pending) > 0 {
-		sum.Torn = true // records whose done marker never landed
-	}
+	sum.Appending = tail == tailAppending
+	sum.Torn = tail == tailGarbled
+	sum.InFlight = len(pending)
 	for _, p := range points {
 		sum.Points = append(sum.Points, *p)
 	}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,61 @@ func TestSummarizeJournalCounts(t *testing.T) {
 	// and the file must not shrink further (read-only).
 	if _, err := SummarizeJournal(t.TempDir()); err == nil {
 		t.Error("missing journal accepted")
+	}
+}
+
+// TestSummarizeJournalTailStates: a journal a live campaign is still
+// appending to — a record whose done marker has not landed, plus a
+// half-written trailing line — is reported as in-flight and appending,
+// not torn; Torn is reserved for a garbled complete line. Counts always
+// cover the intact prefix.
+func TestSummarizeJournalTailStates(t *testing.T) {
+	dir := t.TempDir()
+	c := stepCampaign(t, 2, 1)
+	c.Checkpoint = &Checkpoint{Dir: dir}
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+	path := JournalPath(dir)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer mid-flight: the record line landed, its done marker is a
+	// partial write with no newline yet.
+	live := append(append([]byte{}, clean...),
+		`{"record":{"Point":"steps","Index":9,"Fingerprint":"x","Experiment":{"Study":"steps","Index":9}}}`+"\n"+`{"done":{"Po`...)
+	if err := os.WriteFile(path, live, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SummarizeJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Torn {
+		t.Error("live journal reported torn")
+	}
+	if !sum.Appending || sum.InFlight != 1 {
+		t.Errorf("live journal: appending=%v inflight=%d, want true/1", sum.Appending, sum.InFlight)
+	}
+	if sum.Complete() != 2 || sum.Accepted() != 2 {
+		t.Errorf("live journal totals = %d/%d, want 2/2", sum.Complete(), sum.Accepted())
+	}
+
+	// A garbled complete line is damage, not a live append.
+	garbled := append(append([]byte{}, clean...), "not json\n"...)
+	if err := os.WriteFile(path, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err = SummarizeJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Torn || sum.Appending || sum.InFlight != 0 {
+		t.Errorf("garbled journal: torn=%v appending=%v inflight=%d, want true/false/0", sum.Torn, sum.Appending, sum.InFlight)
+	}
+	if sum.Complete() != 2 {
+		t.Errorf("garbled journal complete = %d, want 2", sum.Complete())
 	}
 }

@@ -42,6 +42,29 @@ type Virtual struct {
 	parked  int         // tracked tasks blocked in Sleep/Wait
 	driving int         // Drive/Release nesting; timers fire only when > 0
 	idle    chan struct{}
+
+	// Activity counters for observability (read via Stats). Plain fields
+	// under mu, kept here rather than in internal/obs so the clock stays
+	// dependency-free; campaigns export deltas into their metrics registry.
+	firedTimers uint64 // timer deadlines reached and dispatched
+	tasks       uint64 // tracked tasks started via Go/AfterFunc bodies
+}
+
+// VirtualStats is a snapshot of a virtual scheduler's activity.
+type VirtualStats struct {
+	// FiredTimers counts timer deadlines dispatched (AfterFunc bodies and
+	// Sleep/Wait deadline wakeups).
+	FiredTimers uint64
+	// Tasks counts tracked task bodies started (Go spawns and fired
+	// AfterFunc bodies).
+	Tasks uint64
+}
+
+// Stats returns cumulative scheduler activity counters.
+func (v *Virtual) Stats() VirtualStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return VirtualStats{FiredTimers: v.firedTimers, Tasks: v.tasks}
 }
 
 // NewVirtual returns a virtual clock positioned at time zero.
@@ -236,6 +259,7 @@ func (v *Virtual) dispatch() {
 		v.ready = v.ready[1:]
 		v.busy++
 		if it.fn != nil {
+			v.tasks++
 			go v.runTask(it.fn)
 			return
 		}
@@ -259,8 +283,10 @@ func (v *Virtual) dispatch() {
 				v.now = e.at
 			}
 			v.busy++
+			v.firedTimers++
 			if e.fn != nil {
 				e.fired = true
+				v.tasks++
 				go v.runTask(e.fn)
 				return
 			}

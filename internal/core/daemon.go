@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/timeline"
 	"repro/internal/vclock"
@@ -85,6 +86,9 @@ func (d *LocalDaemon) watchdog() {
 		for _, n := range stale {
 			d.rt.cfg.Logf("core: watchdog on %s: node %s silent for %v; declaring crashed",
 				d.host.Name, n.Nickname(), n.staleFor().Duration())
+			if m := d.rt.om; m != nil {
+				m.WatchdogKills.Inc()
+			}
 			n.crash()
 		}
 	}
@@ -132,6 +136,11 @@ func (c *CentralDaemon) RunExperiment(nodes []spec.NodeEntry, timeout time.Durat
 	// the full study placement.
 	c.rt.AddPlacement(nodes)
 
+	tr := c.rt.trace.Load()
+	activateStart := time.Time{}
+	if tr != nil {
+		activateStart = c.rt.clk.Now()
+	}
 	for _, e := range nodes {
 		if !e.AutoStart() {
 			continue
@@ -142,6 +151,9 @@ func (c *CentralDaemon) RunExperiment(nodes []spec.NodeEntry, timeout time.Durat
 			return nil, err
 		}
 	}
+	if tr != nil {
+		tr.Span("activate", activateStart, c.rt.clk.Now())
+	}
 
 	completed := c.rt.Wait(timeout)
 	// Seal before collecting: no supervisor poll or deferred chaos restart
@@ -151,6 +163,13 @@ func (c *CentralDaemon) RunExperiment(nodes []spec.NodeEntry, timeout time.Durat
 	// between Wait observing zero activity and the seal taking effect, so
 	// kill and await any straggler before collecting results.
 	c.rt.SealExperiment()
+	if tr != nil {
+		detail := "completed"
+		if !completed {
+			detail = "timeout"
+		}
+		tr.Event(c.rt.clk.Now(), obs.CatPhase, "seal", detail)
+	}
 	if len(c.rt.LiveNodes()) > 0 {
 		c.rt.KillAll()
 		c.rt.Wait(time.Second)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/faultexpr"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/timeline"
 	"repro/internal/vclock"
@@ -198,6 +199,9 @@ func (n *Node) finish() {
 		n.state = spec.StateExit
 		n.mu.Unlock()
 		n.recorder.RecordStateChange("EXIT", spec.StateExit, at)
+		if tr := n.rt.trace.Load(); tr != nil {
+			tr.Event(n.rt.clk.Now(), obs.CatNode, n.Nickname(), "exited")
+		}
 		n.broadcast(spec.StateExit, n.exitNotifyList())
 		close(n.done)
 	}
@@ -231,6 +235,12 @@ func (n *Node) crash() {
 	n.state = spec.StateCrash
 	n.mu.Unlock()
 	n.recorder.RecordStateChange(spec.EventCrash, spec.StateCrash, at)
+	if m := n.rt.om; m != nil {
+		m.Crashes.Inc()
+	}
+	if tr := n.rt.trace.Load(); tr != nil {
+		tr.Event(n.rt.clk.Now(), obs.CatNode, n.Nickname(), "crashed")
+	}
 	n.broadcast(spec.StateCrash, n.def.Spec.NotifyList(spec.StateCrash))
 	close(n.done)
 	n.wakeWaiters()
@@ -306,6 +316,12 @@ func (n *Node) localEvent(event string) error {
 	n.mu.Unlock()
 
 	n.recorder.RecordStateChange(event, next, at)
+	if m := n.rt.om; m != nil {
+		m.StateChanges.Inc()
+	}
+	if tr := n.rt.trace.Load(); tr != nil {
+		tr.Event(n.rt.clk.Now(), obs.CatProbe, n.Nickname(), event+" -> "+next)
+	}
 	n.broadcast(next, n.def.Spec.NotifyList(next))
 	n.inject(fired)
 	return nil
@@ -337,11 +353,24 @@ func (n *Node) inject(fired []faultexpr.Spec) {
 		}
 		at := n.recorder.Now()
 		n.recorder.RecordInjection(f.Name, at)
+		if m := n.rt.om; m != nil {
+			m.Injections.Inc()
+		}
+		tr := n.rt.trace.Load()
 		if f.Action != nil {
 			if hook := n.rt.faultActionHook(); hook != nil {
+				if m := n.rt.om; m != nil {
+					m.ChaosActions.Inc()
+				}
+				if tr != nil {
+					tr.Event(n.rt.clk.Now(), obs.CatChaos, f.Name, n.Nickname())
+				}
 				hook(n, f)
 				continue
 			}
+		}
+		if tr != nil {
+			tr.Event(n.rt.clk.Now(), obs.CatInject, f.Name, n.Nickname())
 		}
 		n.def.App.InjectFault(n.handle, f.Name)
 	}

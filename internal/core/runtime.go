@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/faultexpr"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/timeline"
 	"repro/internal/transport"
@@ -62,8 +63,14 @@ type Config struct {
 	// to fix the timeout value".
 	WatchdogTimeout time.Duration
 	// Logf, if set, receives runtime diagnostics (dropped notifications,
-	// watchdog kills). Defaults to discarding them.
+	// watchdog kills). Defaults to the Obs sink's logger when one is
+	// configured, else to discarding them.
 	Logf func(format string, args ...interface{})
+	// Obs, if set, receives runtime metrics and per-experiment traces.
+	// The metric bundle is resolved once at New; per-experiment traces are
+	// attached with SetTrace. Nil disables observability at zero cost on
+	// the notification hot path.
+	Obs *obs.Sink
 	// Transport, if set, carries traffic for hosts owned by other
 	// endpoints (transport.go). Nil — or a transport whose topology is
 	// all-local, like transport.SingleProcess — keeps every path
@@ -78,6 +85,13 @@ type Runtime struct {
 	cfg    Config
 	source vclock.Source
 	clk    clock.Clock
+
+	// om is the pre-resolved metric bundle (nil when metrics are off), and
+	// trace the current experiment's trace (nil pointer loads when tracing
+	// is off) — both shaped so the disabled path is one pointer test, no
+	// allocation, no interface dispatch.
+	om    *obs.RuntimeMetrics
+	trace atomic.Pointer[obs.Trace]
 
 	// netem is the application-bus traffic shaping state (netem.go); it
 	// has its own lock and is consulted on every Handle.Send.
@@ -126,10 +140,15 @@ func New(cfg Config) *Runtime {
 		cfg.Clock = clock.Real{}
 	}
 	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...interface{}) {}
+		if cfg.Obs != nil && cfg.Obs.Log != nil {
+			cfg.Logf = cfg.Obs.Log.Func(obs.Warn, "core")
+		} else {
+			cfg.Logf = func(string, ...interface{}) {}
+		}
 	}
 	r := &Runtime{
 		cfg:       cfg,
+		om:        cfg.Obs.RuntimeMetrics(),
 		source:    cfg.Source,
 		clk:       cfg.Clock,
 		netem:     newNetem(1),
@@ -152,6 +171,15 @@ func (r *Runtime) Clock() clock.Clock { return r.clk }
 // Logf forwards to the runtime's configured diagnostic sink (Config.Logf;
 // a no-op by default). The chaos engine reports action failures here.
 func (r *Runtime) Logf(format string, args ...interface{}) { r.cfg.Logf(format, args...) }
+
+// SetTrace attaches (or, with nil, detaches) the current experiment's
+// trace. The campaign engine attaches a fresh trace before each runtime
+// phase and detaches it before analysis; runtime emitters load the pointer
+// atomically, so a nil trace costs one atomic load on the hot path.
+func (r *Runtime) SetTrace(t *obs.Trace) { r.trace.Store(t) }
+
+// Trace returns the attached experiment trace, or nil.
+func (r *Runtime) Trace() *obs.Trace { return r.trace.Load() }
 
 // AddHost adds a virtual host with the given hidden clock error and starts
 // its local daemon. Duplicate names are a configuration bug and panic.
@@ -500,8 +528,14 @@ func (r *Runtime) route(fromHost string, note stateNote, to string) {
 		// "If there is a notification for a state machine that is
 		// currently not executing, the notification is discarded with a
 		// warning message." (§3.6.1)
+		if m := r.om; m != nil {
+			m.DroppedNotifications.Inc()
+		}
 		r.cfg.Logf("core: dropping notification %s->%s (%s): target not executing", note.From, to, note.State)
 		return
+	}
+	if m := r.om; m != nil {
+		m.Notifications.Inc()
 	}
 	delay := r.cfg.RemoteDelay
 	if target.Host() == fromHost {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/spec"
 	"repro/internal/transport"
@@ -136,6 +137,9 @@ func (r *Runtime) StartTransport() error {
 // handleTransportMessage dispatches one inbound frame. It runs on the
 // transport's read goroutine.
 func (r *Runtime) handleTransportMessage(m transport.Message) {
+	if tr := r.trace.Load(); tr != nil {
+		tr.Event(r.clk.Now(), obs.CatTransport, "recv "+transport.KindName(m.Kind), m.From+"->"+m.To)
+	}
 	switch m.Kind {
 	case transport.KindNote:
 		r.mu.Lock()
@@ -190,6 +194,9 @@ func (r *Runtime) sendRemoteNote(host string, note stateNote, to string) {
 		To:     to,
 		ToHost: host,
 		State:  note.State,
+	}
+	if tr := r.trace.Load(); tr != nil {
+		tr.Event(r.clk.Now(), obs.CatTransport, "send note", note.From+"->"+to)
 	}
 	if err := r.cfg.Transport.SendHost(host, m); err != nil {
 		r.cfg.Logf("core: remote notification %s->%s: %v", note.From, to, err)

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace is one experiment's span tree plus point events. Timestamps come
+// from the emitting engine's injected clock.Clock — under virtual time
+// they are simulated nanoseconds, reproducible across runs — and are
+// stored as int64 nanoseconds since the Unix epoch.
+//
+// The span tree is implicit: a span whose interval contains another's is
+// its ancestor, exactly the nesting rule Chrome trace viewers apply to
+// complete ("X") events on one thread. Phases (reset, sync, run, analyze)
+// therefore render as a tree under the experiment root without parent
+// bookkeeping in the hot path.
+//
+// All mutating methods are nil-receiver safe no-ops, so engines call them
+// unconditionally through an atomically-loaded pointer that is nil when
+// tracing is off.
+type Trace struct {
+	// Point is the study or matrix point name; Index the experiment index.
+	Point string
+	Index int
+
+	mu     sync.Mutex
+	spans  []Span
+	events []TracePoint
+}
+
+// Span is a named interval: an experiment phase or a per-fault injection
+// window.
+type Span struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start"` // ns
+	End   int64  `json:"end"`   // ns
+}
+
+// TracePoint is an instantaneous event: a chaos action, transport frame,
+// probe state change, injection, crash, or verdict.
+type TracePoint struct {
+	At     int64  `json:"at"` // ns
+	Cat    string `json:"cat"`
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Event categories.
+const (
+	CatPhase     = "phase"
+	CatProbe     = "probe"
+	CatInject    = "inject"
+	CatChaos     = "chaos"
+	CatTransport = "transport"
+	CatNode      = "node"
+	CatVerdict   = "verdict"
+)
+
+// NewTrace returns an empty trace for one experiment.
+func NewTrace(point string, index int) *Trace {
+	return &Trace{Point: point, Index: index}
+}
+
+// Span records a completed interval. Nil-receiver safe.
+func (t *Trace) Span(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start.UnixNano(), End: end.UnixNano()})
+	t.mu.Unlock()
+}
+
+// Event records an instantaneous event. Nil-receiver safe.
+func (t *Trace) Event(at time.Time, cat, name, detail string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TracePoint{At: at.UnixNano(), Cat: cat, Name: name, Detail: detail})
+	t.mu.Unlock()
+}
+
+// sorted returns content-sorted copies of the spans and events. Sorting is
+// by full content — (Start, End, Name) and (At, Cat, Name, Detail) — so
+// the encoded artifact is a pure function of the trace's contents: even
+// if concurrent emitters appended in different orders across two runs,
+// equal content encodes to equal bytes.
+func (t *Trace) sorted() ([]Span, []TracePoint) {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	events := append([]TracePoint(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.Name < b.Name
+	})
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Cat != b.Cat {
+			return a.Cat < b.Cat
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Detail < b.Detail
+	})
+	return spans, events
+}
+
+// traceHeader is the artifact's first line.
+type traceHeader struct {
+	Trace  string `json:"trace"` // format marker + version, "loki/1"
+	Point  string `json:"point"`
+	Index  int    `json:"index"`
+	Spans  int    `json:"spans"`
+	Events int    `json:"events"`
+}
+
+type traceLine struct {
+	Span  *Span       `json:"span,omitempty"`
+	Event *TracePoint `json:"event,omitempty"`
+}
+
+// Encode writes the trace as JSONL: a header line, then spans, then
+// events, all content-sorted. Equal traces encode byte-identically.
+func (t *Trace) Encode(w io.Writer) error {
+	spans, events := t.sorted()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{
+		Trace: "loki/1", Point: t.Point, Index: t.Index,
+		Spans: len(spans), Events: len(events),
+	}); err != nil {
+		return err
+	}
+	for i := range spans {
+		if err := enc.Encode(traceLine{Span: &spans[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		if err := enc.Encode(traceLine{Event: &events[i]}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeTrace parses an artifact produced by Encode.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("obs: empty trace")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Trace == "" {
+		return nil, fmt.Errorf("obs: not a trace artifact")
+	}
+	if hdr.Trace != "loki/1" {
+		return nil, fmt.Errorf("obs: unsupported trace format %q", hdr.Trace)
+	}
+	t := NewTrace(hdr.Point, hdr.Index)
+	for sc.Scan() {
+		var line traceLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("obs: bad trace line: %w", err)
+		}
+		switch {
+		case line.Span != nil:
+			t.spans = append(t.spans, *line.Span)
+		case line.Event != nil:
+			t.events = append(t.events, *line.Event)
+		}
+	}
+	return t, sc.Err()
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format
+// (the "JSON Array Format" every Chrome-derived viewer and Perfetto's
+// legacy importer accept). Timestamps are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome exports the trace in Chrome trace_event format, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Spans become complete
+// ("X") events on tid 1 — the viewer nests them by interval containment —
+// and point events become thread-scoped instants ("i") on tid 2, grouped
+// by category.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans, events := t.sorted()
+	// Rebase on the earliest timestamp so virtual-epoch and wall-clock
+	// traces both start near t=0 in the viewer.
+	var t0 int64
+	if len(spans) > 0 {
+		t0 = spans[0].Start
+	}
+	if len(events) > 0 && (len(spans) == 0 || events[0].At < t0) {
+		t0 = events[0].At
+	}
+	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
+	out := make([]chromeEvent, 0, len(spans)+len(events))
+	for _, s := range spans {
+		out = append(out, chromeEvent{
+			Name: s.Name, Cat: CatPhase, Ph: "X",
+			Ts: us(s.Start), Dur: float64(s.End-s.Start) / 1e3,
+			Pid: 1, Tid: 1,
+		})
+	}
+	for _, e := range events {
+		ev := chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: "i", S: "t",
+			Ts: us(e.At), Pid: 1, Tid: 2,
+		}
+		if e.Detail != "" {
+			ev.Args = map[string]string{"detail": e.Detail}
+		}
+		out = append(out, ev)
+	}
+	doc := struct {
+		TraceEvents []chromeEvent     `json:"traceEvents"`
+		Metadata    map[string]string `json:"metadata"`
+	}{
+		TraceEvents: out,
+		Metadata: map[string]string{
+			"point": t.Point,
+			"index": fmt.Sprintf("%d", t.Index),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

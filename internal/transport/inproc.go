@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // InprocNet connects in-process endpoints: the refactored form of the old
@@ -54,6 +56,7 @@ type Inproc struct {
 	topo   Topology
 	epoch  atomic.Uint64
 	closed atomic.Bool
+	om     atomic.Pointer[obs.TransportMetrics]
 
 	mu      sync.Mutex
 	handler Handler
@@ -106,6 +109,9 @@ func (t *Inproc) SendPeer(peer string, m Message) error {
 		return fmt.Errorf("transport: unknown inproc peer %q", peer)
 	}
 	m.Epoch = t.epoch.Load()
+	// Inproc frames are never serialized; payload length stands in for
+	// wire bytes.
+	t.om.Load().Sent(len(m.Payload))
 	dst.receive(m)
 	return nil
 }
@@ -129,6 +135,7 @@ func (t *Inproc) receive(m Message) {
 	if m.Kind != KindCtrl && m.Epoch != t.epoch.Load() {
 		return
 	}
+	t.om.Load().Recv(len(m.Payload))
 	t.mu.Lock()
 	h := t.handler
 	t.mu.Unlock()

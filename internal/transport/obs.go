@@ -1,0 +1,45 @@
+package transport
+
+import (
+	"repro/internal/obs"
+)
+
+// KindName returns a frame kind's short name for diagnostics and traces.
+func KindName(k byte) string {
+	switch k {
+	case KindNote:
+		return "note"
+	case KindApp:
+		return "app"
+	case KindChaos:
+		return "chaos"
+	case KindCtrl:
+		return "ctrl"
+	case KindSyncPing:
+		return "syncping"
+	case KindSyncPong:
+		return "syncpong"
+	default:
+		return "unknown"
+	}
+}
+
+// observable is implemented by endpoints that can count their traffic.
+type observable interface {
+	setObserver(m *obs.TransportMetrics)
+}
+
+// SetObserver attaches a frame/byte metric bundle to the endpoint, when
+// the implementation supports counting (all three built-ins do). A nil
+// bundle detaches; a nil or unsupported transport is a no-op. The bundle's
+// methods are nil-safe, so endpoints observe unconditionally through the
+// atomically-loaded pointer.
+func SetObserver(t Transport, m *obs.TransportMetrics) {
+	if o, ok := t.(observable); ok {
+		o.setObserver(m)
+	}
+}
+
+func (t *Inproc) setObserver(m *obs.TransportMetrics) { t.om.Store(m) }
+func (t *UDP) setObserver(m *obs.TransportMetrics)    { t.om.Store(m) }
+func (t *TCP) setObserver(m *obs.TransportMetrics)    { t.om.Store(m) }

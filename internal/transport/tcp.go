@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TCP is the stream transport: a listener per endpoint plus one
@@ -18,6 +20,7 @@ type TCP struct {
 	topo   Topology
 	epoch  atomic.Uint64
 	closed atomic.Bool
+	om     atomic.Pointer[obs.TransportMetrics]
 
 	mu       sync.Mutex
 	listener *net.TCPListener
@@ -162,6 +165,7 @@ func (t *TCP) SendPeer(peer string, m Message) error {
 	c, err := t.peerConn(peer)
 	if err == nil {
 		if err = c.write(body); err == nil {
+			t.om.Load().Sent(len(body))
 			return nil
 		}
 	}
@@ -171,12 +175,19 @@ func (t *TCP) SendPeer(peer string, m Message) error {
 	t.dropConn(peer, c)
 	c, err = t.peerConn(peer)
 	if err != nil {
+		if om := t.om.Load(); om != nil {
+			om.SendErrors.Inc()
+		}
 		return err
 	}
 	if err = c.write(body); err != nil {
 		t.dropConn(peer, c)
+		if om := t.om.Load(); om != nil {
+			om.SendErrors.Inc()
+		}
 		return err
 	}
+	t.om.Load().Sent(len(body))
 	return nil
 }
 
@@ -302,6 +313,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		if m.Kind != KindCtrl && m.Epoch != t.epoch.Load() {
 			continue
 		}
+		t.om.Load().Recv(len(body))
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()

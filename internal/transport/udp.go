@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // UDP is the datagram transport: one socket per endpoint, one frame per
@@ -16,6 +18,7 @@ type UDP struct {
 	topo   Topology
 	epoch  atomic.Uint64
 	closed atomic.Bool
+	om     atomic.Pointer[obs.TransportMetrics]
 
 	mu      sync.Mutex
 	conn    *net.UDPConn
@@ -151,8 +154,14 @@ func (t *UDP) SendPeer(peer string, m Message) error {
 	if err != nil {
 		return err
 	}
-	_, err = conn.WriteToUDP(body, addr)
-	return err
+	if _, err = conn.WriteToUDP(body, addr); err != nil {
+		if om := t.om.Load(); om != nil {
+			om.SendErrors.Inc()
+		}
+		return err
+	}
+	t.om.Load().Sent(len(body))
+	return nil
 }
 
 // Broadcast implements Transport.
@@ -181,6 +190,7 @@ func (t *UDP) readLoop(conn *net.UDPConn) {
 		if m.Kind != KindCtrl && m.Epoch != t.epoch.Load() {
 			continue
 		}
+		t.om.Load().Recv(n)
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()

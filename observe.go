@@ -1,0 +1,175 @@
+package loki
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Session-level observability: the options below configure one obs.Sink
+// that every engine the session runs — in-process pool, matrix, cluster
+// member — shares. With no observability option the sink stays nil and the
+// engines' instrumentation sites cost a single nil check (zero
+// allocations on the notification hot path).
+
+// ProgressEvent is one live campaign progress notification, delivered to
+// WithObserver / Session.Watch callbacks as experiments complete.
+type ProgressEvent = obs.Event
+
+// Progress event kinds.
+const (
+	EventStudyStart = obs.EventStudyStart
+	EventExperiment = obs.EventExperiment
+	EventStudyDone  = obs.EventStudyDone
+)
+
+// MetricsRegistry is the session's metric registry: Prometheus text via
+// WriteProm/Handler, deterministic JSON via Snapshot/WriteJSON.
+type MetricsRegistry = obs.Registry
+
+// LogLevel is the structured logger's severity threshold.
+type LogLevel = obs.Level
+
+// Log levels, most to least verbose.
+const (
+	LogDebug = obs.Debug
+	LogInfo  = obs.Info
+	LogWarn  = obs.Warn
+	LogError = obs.Error
+)
+
+// sink lazily materializes the session's observability sink on the opened
+// campaign copy (engines see it through Campaign.Obs).
+func (s *Session) sink() *obs.Sink {
+	if s.c.Obs == nil {
+		s.c.Obs = &obs.Sink{}
+	}
+	return s.c.Obs
+}
+
+// WithObserver subscribes fn to the session's live progress events —
+// study start/done and every completed experiment, cumulative counts
+// included — for the session's lifetime. Callbacks run on the engines'
+// analysis goroutines and must return quickly. Use Session.Watch for a
+// cancellable subscription.
+func WithObserver(fn func(ProgressEvent)) Option {
+	return func(s *Session) error {
+		if fn == nil {
+			return fmt.Errorf("loki: WithObserver(nil)")
+		}
+		s.sink().Watch(fn)
+		return nil
+	}
+}
+
+// WithMetrics enables the session's metric registry: experiment verdicts,
+// per-phase latencies, transport traffic, journal fsync latency, worker
+// utilization. Read it through Session.Metrics; with WithArtifacts, Run
+// also snapshots it to DIR/metrics.json.
+func WithMetrics() Option {
+	return func(s *Session) error {
+		sk := s.sink()
+		if sk.Metrics == nil {
+			sk.Metrics = obs.NewRegistry()
+		}
+		return nil
+	}
+}
+
+// WithTracing collects one structured trace per experiment — phase spans
+// and chaos/transport/probe point events, timestamped by the campaign's
+// injected clock so virtual-time traces are byte-reproducible — under
+// dir/<study-or-point>/expNNN.trace.jsonl. An empty dir derives
+// ARTIFACTS/traces from WithArtifacts (in either option order).
+func WithTracing(dir string) Option {
+	return func(s *Session) error {
+		s.traceReq = true
+		s.traceDir = dir
+		return nil
+	}
+}
+
+// WithLogging sends the engines' structured diagnostics at or above min
+// to w.
+func WithLogging(w io.Writer, min LogLevel) Option {
+	return func(s *Session) error {
+		if w == nil {
+			return fmt.Errorf("loki: WithLogging(nil writer)")
+		}
+		s.sink().Log = obs.NewLogger(w, min)
+		return nil
+	}
+}
+
+// ParseLogLevel parses "debug", "info", "warn", or "error" — the
+// vocabulary of lokirun/lokid's -v flag.
+func ParseLogLevel(v string) (LogLevel, error) { return obs.ParseLevel(v) }
+
+// Trace is one experiment's decoded trace artifact. Trace.WriteChrome
+// converts it to Chrome trace_event JSON for https://ui.perfetto.dev.
+type Trace = obs.Trace
+
+// DecodeTrace reads one expNNN.trace.jsonl artifact written by
+// WithTracing.
+func DecodeTrace(r io.Reader) (*Trace, error) { return obs.DecodeTrace(r) }
+
+// Watch subscribes fn to the session's live progress events; the returned
+// cancel removes the subscription. Safe to call before, during, or
+// between runs — `lokirun -progress` is a Watch feeding a ticker.
+func (s *Session) Watch(fn func(ProgressEvent)) (cancel func()) {
+	if s == nil || s.closed || fn == nil {
+		return func() {}
+	}
+	return s.sink().Watch(fn)
+}
+
+// Metrics returns the session's metric registry, or nil when WithMetrics
+// was not applied.
+func (s *Session) Metrics() *MetricsRegistry {
+	if s == nil || s.c == nil || s.c.Obs == nil {
+		return nil
+	}
+	return s.c.Obs.Metrics
+}
+
+// resolveTracing finalizes WithTracing after all options ran, so the
+// empty-dir form can inherit the artifact directory regardless of option
+// order.
+func (s *Session) resolveTracing() error {
+	if !s.traceReq {
+		return nil
+	}
+	dir := s.traceDir
+	if dir == "" {
+		if s.artifacts == "" {
+			return fmt.Errorf("loki: WithTracing(\"\") needs WithArtifacts to derive a trace directory")
+		}
+		dir = filepath.Join(s.artifacts, "traces")
+	}
+	s.sink().TraceDir = dir
+	return nil
+}
+
+// writeMetricsSnapshot persists the registry as deterministic JSON next
+// to the run's other artifacts.
+func (s *Session) writeMetricsSnapshot() error {
+	reg := s.Metrics()
+	if s.artifacts == "" || reg == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.artifacts, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(s.artifacts, "metrics.json"))
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Guardrail: no raw printing or stdlib logging in internal/ — engine
+# diagnostics go through the structured leveled logger (internal/obs), so
+# `lokirun -v` / `lokid -v` control everything and silent-by-default runs
+# stay silent. Commands (cmd/) own their stdout and are exempt.
+#
+# Allowlisted exceptions:
+#   - internal/obs/          the logger implementation itself.
+#   - *_test.go              tests may print.
+#
+# Run from the repository root: scripts/forbid_rawlog.sh
+set -eu
+
+pattern='\b(fmt\.Print(ln|f)?|log\.(Print(ln|f)?|Fatal(ln|f)?|Panic(ln|f)?))\('
+
+matches=$(grep -rnE --include='*.go' "$pattern" internal/ \
+  | grep -v '_test\.go:' \
+  | grep -v '^internal/obs/' \
+  || true)
+
+if [ -n "$matches" ]; then
+  echo "raw print/log calls in internal/ (route diagnostics through internal/obs):" >&2
+  echo "$matches" >&2
+  exit 1
+fi
+echo "forbid_rawlog: clean"

@@ -9,6 +9,11 @@
 #                            package; SpinWait's sub-millisecond spin).
 #   - internal/vclock/       NewSystemSource is the sanctioned wall-clock
 #                            tick source behind the host-clock geometry.
+#   - internal/obs/          obs.Now() is the sanctioned wall-clock
+#                            accessor for operational latencies (journal
+#                            fsync, analysis, worker utilization) and log
+#                            timestamps; experiment-visible trace spans
+#                            take their times from the injected clock.
 #   - internal/campaign/cluster.go
 #                            socket retry/ack timeouts: cluster peers are
 #                            separate processes on real sockets and can
@@ -25,6 +30,7 @@ matches=$(grep -rnE --include='*.go' "$pattern" internal/ \
   | grep -v '_test\.go:' \
   | grep -v '^internal/clock/' \
   | grep -v '^internal/vclock/' \
+  | grep -v '^internal/obs/' \
   | grep -v '^internal/campaign/cluster\.go:' \
   || true)
 

@@ -38,6 +38,8 @@ type Session struct {
 	transport string // WithTransport override ("" = as specified)
 	artifacts string
 	cluster   *ClusterConfig
+	traceReq  bool   // WithTracing requested
+	traceDir  string // explicit trace directory ("" = ARTIFACTS/traces)
 
 	tr     Transport
 	member *ClusterMember
@@ -260,6 +262,9 @@ func Open(spec any, opts ...Option) (*Session, error) {
 		if err := opt(s); err != nil {
 			return nil, err
 		}
+	}
+	if err := s.resolveTracing(); err != nil {
+		return nil, err
 	}
 	if err := campaign.ValidateWorkers(s.c.Workers); err != nil {
 		return nil, err
@@ -586,7 +591,15 @@ type SessionStatus struct {
 	// sessions compare the header only (each point's fingerprint depends
 	// on its materialized study; resume still verifies them per record).
 	FingerprintMatch bool
-	// Torn reports an incomplete journal tail (crash mid-append);
+	// InFlight counts journaled records whose done marker has not landed:
+	// experiments a live campaign is completing right now, or (after a
+	// crash) appends the next Resume will discard.
+	InFlight int
+	// Appending reports trailing journal bytes without a newline — a
+	// writer mid-append, or a crash at that instant. The bytes are
+	// ignored, not an error.
+	Appending bool
+	// Torn reports a garbled journal tail (damage, not a live append);
 	// everything counted precedes it.
 	Torn bool
 	// Points lists per-study/point progress, spec points first (in spec
@@ -657,6 +670,8 @@ func (s *Session) Status() (*SessionStatus, error) {
 		Campaign:         sum.Campaign,
 		Fingerprint:      sum.Fingerprint,
 		FingerprintMatch: match,
+		InFlight:         sum.InFlight,
+		Appending:        sum.Appending,
 		Torn:             sum.Torn,
 	}
 	for _, name := range order {
@@ -718,8 +733,9 @@ func (s *Session) expectedPoints() (map[string]int, []string, error) {
 
 // writeRunArtifacts emits the analysis artifacts of every record with a
 // global timeline: DIR[/study-or-point]/expNNN/{global.timeline,
-// alphabeta.txt, verdict.txt}. A single-study campaign writes directly
-// under DIR, matching the historical lokirun layout.
+// alphabeta.txt, verdict.txt} — plus DIR/metrics.json when WithMetrics is
+// on. A single-study campaign writes directly under DIR, matching the
+// historical lokirun layout.
 func (s *Session) writeRunArtifacts(res *SessionResult) error {
 	if s.artifacts == "" || res == nil {
 		return nil
@@ -746,7 +762,7 @@ func (s *Session) writeRunArtifacts(res *SessionResult) error {
 			}
 		}
 	}
-	return nil
+	return s.writeMetricsSnapshot()
 }
 
 // underDir joins a study/point name under base, confined: the name's "/"
@@ -810,8 +826,12 @@ func writeExperimentArtifacts(dir string, rec *ExperimentRecord) error {
 // timeline file per machine plus the timestamps file — for a clean,
 // analysis-processable experiment.
 func (s *Session) writeRawArtifacts(e *Experiment) error {
-	if s.artifacts == "" || e.Record == nil || !e.Record.Completed || e.Record.AnalysisError != "" {
+	if s.artifacts == "" {
 		return nil
+	}
+	if e.Record == nil || !e.Record.Completed || e.Record.AnalysisError != "" {
+		// No timelines to trust, but the run's metrics still happened.
+		return s.writeMetricsSnapshot()
 	}
 	if err := os.MkdirAll(s.artifacts, 0o755); err != nil {
 		return err
@@ -837,5 +857,8 @@ func (s *Session) writeRawArtifacts(e *Experiment) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.writeMetricsSnapshot()
 }

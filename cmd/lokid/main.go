@@ -39,6 +39,11 @@
 // Observability: -v LEVEL streams structured engine diagnostics to
 // stderr; -metrics ADDR serves Prometheus text at http://ADDR/metrics
 // plus the pprof endpoints under /debug/pprof for the daemon's lifetime.
+// -trace captures one structured trace per experiment: the coordinator
+// writes merged OUT/traces artifacts with one lane per process, a member
+// buffers its lane in memory for the coordinator to pull. Cluster
+// members always keep a local metric registry so the coordinator can
+// aggregate per-member series into OUT/metrics.json.
 //
 // Continue the pipeline with:
 //
@@ -80,6 +85,7 @@ func main() {
 
 		verbosity   = flag.String("v", "", "stream structured engine diagnostics to stderr at this level: debug, info, warn, or error")
 		metricsAddr = flag.String("metrics", "", "serve Prometheus metrics at http://ADDR/metrics (pprof under /debug/pprof)")
+		traceOn     = flag.Bool("trace", false, "capture one structured trace per experiment; the coordinator writes OUT/traces, a member buffers its lane for the coordinator to pull and merge")
 
 		transportKind = flag.String("transport", "", "socket transport for multi-process mode: udp or tcp")
 		name          = flag.String("name", "", "this process's peer name (multi-process mode)")
@@ -136,6 +142,20 @@ func main() {
 	}
 	if *outDir != "" {
 		opts = append(opts, loki.WithArtifacts(*outDir), loki.WithMetrics())
+	}
+	if *traceOn {
+		if *outDir != "" {
+			opts = append(opts, loki.WithTracing(""))
+		} else {
+			// Member without local artifacts: buffer the lane in memory
+			// so the coordinator's trace pull finds it.
+			opts = append(opts, loki.WithTraceBuffer())
+		}
+	}
+	if cluster != nil && *outDir == "" {
+		// A member must always be able to answer the coordinator's
+		// metrics pull with its local series.
+		opts = append(opts, loki.WithMetrics())
 	}
 	if *resume {
 		if *outDir == "" {

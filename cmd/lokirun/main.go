@@ -82,8 +82,28 @@ func main() {
 		verbosity    = flag.String("v", "", "stream structured engine diagnostics to stderr at this level: debug, info, warn, or error")
 		progressD    = flag.Duration("progress", 0, "print a live progress line (completed/accepted/ETA) at this interval")
 		traceOn      = flag.Bool("trace", false, "write one structured trace per experiment under OUT/traces (requires -out)")
+		reportOnly   = flag.Bool("report", false, "render OUT/report.html and OUT/report.json from the existing journal/metrics/traces without running anything")
 	)
 	flag.Parse()
+	if *reportOnly {
+		// Pure artifact post-processing: no campaign is opened and nothing
+		// runs, so neither -config nor -nodes is needed.
+		dir := *outDir
+		if dir == "" && *configPath != "" {
+			if cfg, err := loki.LoadCampaignFile(*configPath); err == nil && cfg.Checkpoint != nil {
+				dir = cfg.Checkpoint.Dir
+			}
+		}
+		if dir == "" {
+			log.Fatal("-report requires -out (the artifact directory holding checkpoint.jsonl, metrics.json, and traces/)")
+		}
+		path, err := loki.GenerateReport(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", path)
+		return
+	}
 	if *configPath == "" && *nodesPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -176,7 +196,7 @@ func main() {
 	defer stop()
 	var stopProgress func()
 	if *progressD > 0 {
-		stopProgress = startProgress(s, *progressD)
+		stopProgress = startProgress(s, *progressD, *verbosity != "")
 	}
 	res, err := s.Run(ctx)
 	if stopProgress != nil {
@@ -293,9 +313,10 @@ func printRecord(rec *loki.ExperimentRecord) {
 // progressTracker accumulates live Session events into per-point
 // completion state for the -progress ticker.
 type progressTracker struct {
-	mu     sync.Mutex
-	start  time.Time
-	points map[string]*pointProgress
+	mu      sync.Mutex
+	start   time.Time
+	points  map[string]*pointProgress
+	verbose bool // also print one line per experiment, member-attributed
 }
 
 type pointProgress struct {
@@ -320,6 +341,18 @@ func (p *progressTracker) observe(ev loki.ProgressEvent) {
 		ps.started, ps.baseline = true, ev.Completed
 	case loki.EventStudyDone:
 		ps.finished = true
+	case loki.EventExperiment:
+		if p.verbose {
+			member := ""
+			if ev.Member != "" {
+				member = " member=" + ev.Member
+			}
+			verdict := "rejected"
+			if ev.AcceptedOne {
+				verdict = "accepted"
+			}
+			fmt.Printf("progress: %s exp %d/%d %s%s\n", ev.Point, ev.Index+1, ev.Experiments, verdict, member)
+		}
 	}
 }
 
@@ -350,9 +383,11 @@ func (p *progressTracker) line(now time.Time) string {
 }
 
 // startProgress subscribes a tracker to the session's live events and
-// prints one line per interval until the returned stop is called.
-func startProgress(s *loki.Session, every time.Duration) (stop func()) {
-	pt := &progressTracker{start: time.Now(), points: make(map[string]*pointProgress)}
+// prints one line per interval until the returned stop is called. With
+// verbose (-progress combined with -v) each completed experiment also
+// prints its own line, member-attributed in clustered runs.
+func startProgress(s *loki.Session, every time.Duration, verbose bool) (stop func()) {
+	pt := &progressTracker{start: time.Now(), points: make(map[string]*pointProgress), verbose: verbose}
 	cancel := s.Watch(pt.observe)
 	done := make(chan struct{})
 	go func() {

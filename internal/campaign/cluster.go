@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -46,28 +47,49 @@ type clusterMsg struct {
 	Completed bool
 	Outcomes  map[string]string
 	Timeline  string   // one encoded local timeline chunk (result frames)
-	More      bool     // the Timeline continues in the next result frame
+	More      bool     // the chunked document continues in the next frame
 	Dropped   []string // owners of timelines that could not be shipped
-	Seq       int      // result frame ordinal
-	Total     int      // result frame count from this peer
+	Seq       int      // frame ordinal within this peer's set
+	Total     int      // frame count from this peer
+
+	// Trace context, carried on reset frames: the point name members
+	// label their trace buffers with, and whether the coordinator will
+	// pull a trace for this experiment.
+	Point   string
+	TraceOn bool
+	// Trace and Metrics are one chunk each of a member's encoded trace
+	// artifact (traceres frames) or metrics snapshot JSON (metricsres
+	// frames), chunked across frames exactly like timelines.
+	Trace   string
+	Metrics string
 }
 
 // syncWire is the payload of the clock-sync ping-pong frames.
 type syncWire struct {
 	Seq        int
-	RemoteRecv int64 // remote clock at ping receipt
-	RemoteSend int64 // remote clock at pong transmission
+	RemoteRecv int64 // remote virtual host clock at ping receipt
+	RemoteSend int64 // remote virtual host clock at pong transmission
+	// Process runtime-clock readings (UnixNano) taken alongside the
+	// virtual stamps. The virtual stamps feed the convex-hull analysis;
+	// these feed the coordinator's NTP-style midpoint estimate of each
+	// member's process-clock offset, which aligns merged trace lanes.
+	ProcRecv int64
+	ProcSend int64
 }
 
 // Protocol ops, carried in Message.State of KindCtrl frames.
 const (
-	opReset   = "reset"
-	opResetOK = "resetok"
-	opStart   = "start"
-	opDone    = "done"
-	opSeal    = "seal"
-	opResult  = "result"
-	opStop    = "stop"
+	opReset      = "reset"
+	opResetOK    = "resetok"
+	opStart      = "start"
+	opDone       = "done"
+	opSeal       = "seal"
+	opResult     = "result"
+	opStop       = "stop"
+	opTrace      = "trace"      // coordinator pulls a member's experiment trace
+	opTraceRes   = "traceres"   // one member trace chunk
+	opMetrics    = "metrics"    // coordinator pulls a member's registry snapshot
+	opMetricsRes = "metricsres" // one member metrics chunk
 )
 
 const (
@@ -119,6 +141,14 @@ type Member struct {
 	ref     string   // reference host (sorted-first, coordinator-local)
 	timeout time.Duration
 	syncSeq int // monotonic across mini-phases: a stale pong must never match
+
+	// align is the coordinator's per-peer process-clock alignment for the
+	// current experiment: the min-RTT round's midpoint offset estimate,
+	// used to rebase merged member trace lanes. Reset each runOne.
+	align map[string]memberAlign
+	// traceWarned dedups the member-side "coordinator wants traces but I
+	// have no buffer" warning to once per process.
+	traceWarned bool
 
 	// sj is the coordinator's checkpoint binding. The in-process engines
 	// hand one down; a stand-alone coordinator (cmd/lokid) opens its own
@@ -241,6 +271,15 @@ func (m *Member) ServeContext(ctx context.Context) error {
 	return m.Serve()
 }
 
+// memberAlign is one peer's process-clock alignment: the NTP-style
+// midpoint offset θ = ((t1-t0)+(t2-t3))/2 from the sync round with the
+// smallest round-trip time, the standard minimum-delay filter.
+type memberAlign struct {
+	offsetNS int64 // member process clock minus coordinator process clock
+	rttNS    int64 // round-trip time of the round behind the estimate
+	ok       bool
+}
+
 // hook receives the transport frames core does not consume. Sync pings
 // are answered inline — they only read a clock; everything else lands in
 // the inbox for the protocol loops.
@@ -255,7 +294,9 @@ func (m *Member) hook(msg transport.Message) {
 			return
 		}
 		w.RemoteRecv = int64(clk.Now())
+		w.ProcRecv = m.rt.Clock().Now().UnixNano()
 		w.RemoteSend = int64(clk.Now())
+		w.ProcSend = m.rt.Clock().Now().UnixNano()
 		reply := transport.Message{
 			Kind:    transport.KindSyncPong,
 			To:      msg.From,
@@ -317,6 +358,12 @@ func (m *Member) Serve() error {
 		sealed    bool
 		doneQuit  chan struct{}
 		resFrames []clusterMsg
+
+		mtr         *obs.Trace // this member's lane for the current experiment
+		startAt     time.Time
+		traceFrames []clusterMsg
+		metricsIdx  = -1 // index the cached metrics frames answer
+		metricsFr   []clusterMsg
 	)
 	stopDone := func() {
 		if doneQuit != nil {
@@ -357,6 +404,20 @@ func (m *Member) Serve() error {
 				m.rt.ResetExperiment()
 				m.tr.SetEpoch(uint64(cm.Index) + 1)
 				index, started, sealed, resFrames = cm.Index, false, false, nil
+				// Fresh trace lane for the new experiment, when the
+				// coordinator will pull one and we can record one.
+				m.rt.SetTrace(nil)
+				mtr, startAt, traceFrames = nil, time.Time{}, nil
+				if cm.TraceOn {
+					if m.c.Obs.CapturesTraces() {
+						mtr = obs.NewTrace(cm.Point, cm.Index)
+						m.rt.SetTrace(mtr)
+					} else if !m.traceWarned {
+						m.traceWarned = true
+						m.c.Obs.Logf(obs.Warn, "campaign",
+							"cluster %s: coordinator requests tracing but this member has no trace buffer enabled (run lokid with -trace or -out)", m.peer)
+					}
+				}
 			}
 			m.sendCtrl(cm.Peer, opResetOK, clusterMsg{Index: index})
 		case opStart:
@@ -364,6 +425,9 @@ func (m *Member) Serve() error {
 				continue
 			}
 			started = true
+			if mtr != nil {
+				startAt = m.rt.Clock().Now()
+			}
 			if m.st.Restarts != nil {
 				sup = startSupervisor(m.rt, *m.st.Restarts)
 			}
@@ -394,11 +458,52 @@ func (m *Member) Serve() error {
 				m.rt.SealExperiment()
 				m.rt.KillAll()
 				m.rt.Wait(time.Second)
+				if mtr != nil {
+					if !startAt.IsZero() {
+						mtr.Span("experiment", startAt, m.rt.Clock().Now())
+					}
+					m.rt.SetTrace(nil) // the lane is final; stop recording
+				}
 				locals, outcomes := m.collectResult()
 				resFrames = resultFrames(m.rt.Logf, index, locals, outcomes)
 			}
 			for _, f := range resFrames {
 				m.sendCtrl(cm.Peer, opResult, f)
+			}
+		case opTrace:
+			// The lane is only final after seal; an early pull (frame
+			// reorder) is ignored and the coordinator's retry rides it out.
+			if cm.Index != index || !sealed {
+				continue
+			}
+			if traceFrames == nil {
+				doc, err := mtr.EncodeString() // nil lane encodes to ""
+				if err != nil {
+					m.rt.Logf("campaign: cluster %s: encoding trace: %v", m.peer, err)
+					doc = ""
+				}
+				traceFrames = chunkDoc(index, doc, func(f *clusterMsg, chunk string) { f.Trace = chunk })
+			}
+			for _, f := range traceFrames {
+				m.sendCtrl(cm.Peer, opTraceRes, f)
+			}
+		case opMetrics:
+			// Snapshot once per requested index so retried pulls always see
+			// the same chunk set (a mid-collection change in Total would
+			// corrupt reassembly). Local series only: imported snapshots
+			// must never bounce back to the coordinator.
+			if metricsFr == nil || metricsIdx != cm.Index {
+				doc := ""
+				if m.c.Obs != nil && m.c.Obs.Metrics != nil {
+					if b, err := json.Marshal(m.c.Obs.Metrics.LocalSnapshot()); err == nil {
+						doc = string(b)
+					}
+				}
+				metricsIdx = cm.Index
+				metricsFr = chunkDoc(cm.Index, doc, func(f *clusterMsg, chunk string) { f.Metrics = chunk })
+			}
+			for _, f := range metricsFr {
+				m.sendCtrl(cm.Peer, opMetricsRes, f)
 			}
 		case opStop:
 			if sup != nil {
@@ -474,6 +579,43 @@ func resultFrames(logf func(string, ...interface{}), index int, locals []*timeli
 		frames[i].Dropped = dropped
 	}
 	return frames
+}
+
+// chunkDoc splits one encoded document across protocol frames using the
+// timeline chunking discipline: Seq/Total number the peer's frame set,
+// More marks a continuation. An empty document still produces one frame,
+// so the collector always completes. assign stores each chunk in the
+// frame field the op uses (Trace, Metrics).
+func chunkDoc(index int, doc string, assign func(f *clusterMsg, chunk string)) []clusterMsg {
+	const maxWire = transport.MaxFrame - 4*1024
+	var frames []clusterMsg
+	for start := 0; ; start += maxWire {
+		end := start + maxWire
+		if end > len(doc) {
+			end = len(doc)
+		}
+		f := clusterMsg{Index: index, More: end < len(doc)}
+		assign(&f, doc[start:end])
+		frames = append(frames, f)
+		if end >= len(doc) {
+			break
+		}
+	}
+	for i := range frames {
+		frames[i].Seq = i
+		frames[i].Total = len(frames)
+	}
+	return frames
+}
+
+// joinDoc reassembles a chunked document from one peer's Seq-ordered
+// frame set.
+func joinDoc(frames []clusterMsg, get func(clusterMsg) string) string {
+	var b strings.Builder
+	for _, f := range frames {
+		b.WriteString(get(f))
+	}
+	return b.String()
 }
 
 // flushMembers runs one reset barrier at the given index without running
@@ -555,11 +697,11 @@ func (m *Member) RunStudyContext(ctx context.Context) (*StudyResult, error) {
 	records := make([]*ExperimentRecord, experiments)
 	point := m.pointName()
 	nDone, nAccepted := 0, 0
-	m.c.Obs.Emit(obs.Event{Kind: obs.EventStudyStart, Point: point, Experiments: experiments})
+	m.c.Obs.Emit(obs.Event{Kind: obs.EventStudyStart, Point: point, Experiments: experiments, Member: m.peer})
 	defer func() {
 		m.c.Obs.Emit(obs.Event{
 			Kind: obs.EventStudyDone, Point: point, Experiments: experiments,
-			Completed: nDone, Accepted: nAccepted,
+			Completed: nDone, Accepted: nAccepted, Member: m.peer,
 		})
 	}()
 	executed := false
@@ -591,12 +733,15 @@ func (m *Member) RunStudyContext(ctx context.Context) (*StudyResult, error) {
 		}
 		m.c.Obs.Emit(obs.Event{
 			Kind: obs.EventExperiment, Point: point, Index: i, Experiments: experiments,
-			Completed: nDone, Accepted: nAccepted, AcceptedOne: rec.Accepted,
+			Completed: nDone, Accepted: nAccepted, AcceptedOne: rec.Accepted, Member: m.peer,
 		})
 	}
 	if !executed {
 		m.flushMembers(experiments)
 	}
+	// Study seal: fold every member's registry into ours so the campaign
+	// metrics.json and /metrics expose one member-labeled fleet surface.
+	m.pullMemberMetrics(experiments)
 	return &StudyResult{Name: m.st.Name, Records: records}, nil
 }
 
@@ -647,21 +792,25 @@ func (m *Member) RunOneContext(ctx context.Context) (*ExperimentRecord, []clocks
 	if err := m.sj.recordRaw(rec, raw.locals, raw.allStamps()); err != nil {
 		return nil, nil, nil, err
 	}
+	m.pullMemberMetrics(1)
 	return rec, raw.allStamps(), raw.locals, nil
 }
 
 // runOne executes one experiment's runtime phase across the cluster.
 func (m *Member) runOne(index int) (*rawExperiment, error) {
 	peers := m.tr.Topology().PeerNames()
+	point := m.pointName()
 
 	// Clustered runs are always real-time, so the coordinator's trace uses
-	// its runtime clock directly; member-side events stay on the members.
+	// its runtime clock directly; member lanes are pulled after the seal
+	// and rebased onto this clock by the sync-round offset estimates.
 	var tr *obs.Trace
 	if m.c.Obs.Tracing() {
-		tr = obs.NewTrace(m.pointName(), index)
+		tr = obs.NewTrace(point, index)
 		m.rt.SetTrace(tr)
 		defer m.rt.SetTrace(nil)
 	}
+	m.align = make(map[string]memberAlign, len(peers))
 	cm := m.c.Obs.CampaignMetrics()
 	clk := m.rt.Clock()
 	observing := tr != nil || cm != nil
@@ -671,11 +820,13 @@ func (m *Member) runOne(index int) (*rawExperiment, error) {
 	}
 
 	// Reset barrier: every member on a fresh testbed and the new epoch
-	// before any traffic flows.
+	// before any traffic flows. The reset frame carries the trace context:
+	// the point name members label their lanes with and whether a trace
+	// will be pulled for this experiment.
 	m.rt.ResetExperiment()
 	m.tr.SetEpoch(uint64(index) + 1)
 	acked, err := m.await(opResetOK, index, asSet(peers), nil, func() {
-		m.broadcastCtrl(opReset, clusterMsg{Index: index})
+		m.broadcastCtrl(opReset, clusterMsg{Index: index, Point: point, TraceOn: tr != nil})
 	})
 	_ = acked
 	if err != nil {
@@ -780,6 +931,11 @@ func (m *Member) runOne(index int) (*rawExperiment, error) {
 		}
 	}
 
+	// Pull each member's trace lane now that both sync phases have
+	// contributed offset estimates; merged spans land in the same
+	// traces/<point>/expNNN.trace.jsonl artifact the analysis stage writes.
+	m.collectMemberTraces(index, peers, tr)
+
 	ownLocals, ownOutcomes := m.collectResult()
 	locals := append([]*timeline.Local(nil), ownLocals...)
 	outcomes := make(map[string]string, len(ownOutcomes))
@@ -876,6 +1032,13 @@ func (m *Member) await(op string, index int, expect map[string]bool, own chan bo
 // collectResults re-broadcasts seal until every peer's full result frame
 // set has arrived.
 func (m *Member) collectResults(index int, peers []string) (map[string][]clusterMsg, error) {
+	return m.collectFrames(index, peers, opSeal, opResult)
+}
+
+// collectFrames re-broadcasts sendOp until every peer's full respOp frame
+// set has arrived — the seal/result collection discipline, shared by the
+// trace and metrics pulls.
+func (m *Member) collectFrames(index int, peers []string, sendOp, respOp string) (map[string][]clusterMsg, error) {
 	got := make(map[string]map[int]clusterMsg, len(peers))
 	for _, p := range peers {
 		got[p] = make(map[int]clusterMsg)
@@ -901,16 +1064,16 @@ func (m *Member) collectResults(index int, peers []string) (map[string][]cluster
 		return true
 	}
 	deadline := time.Now().Add(clusterAckTimeout)
-	m.broadcastCtrl(opSeal, clusterMsg{Index: index})
+	m.broadcastCtrl(sendOp, clusterMsg{Index: index})
 	ticker := time.NewTicker(clusterRetry)
 	defer ticker.Stop()
 	for !allDone() {
 		select {
 		case <-m.quit:
-			return nil, fmt.Errorf("member quit while collecting results")
+			return nil, fmt.Errorf("member quit while collecting %s", respOp)
 		case msg := <-m.inbox:
 			cm, err := decodeClusterMsg(msg.Payload)
-			if err != nil || msg.State != opResult || cm.Index != index {
+			if err != nil || msg.State != respOp || cm.Index != index {
 				continue
 			}
 			if fr, ok := got[cm.Peer]; ok {
@@ -918,12 +1081,12 @@ func (m *Member) collectResults(index int, peers []string) (map[string][]cluster
 			}
 		case <-ticker.C:
 			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("timed out collecting results (have %v)", resultCounts(got))
+				return nil, fmt.Errorf("timed out collecting %s (have %v)", respOp, resultCounts(got))
 			}
 			if tm := m.c.Obs.TransportMetrics(m.tr.Name()); tm != nil {
 				tm.Retries.Inc()
 			}
-			m.broadcastCtrl(opSeal, clusterMsg{Index: index})
+			m.broadcastCtrl(sendOp, clusterMsg{Index: index})
 		}
 	}
 	out := make(map[string][]clusterMsg, len(got))
@@ -938,6 +1101,85 @@ func (m *Member) collectResults(index int, peers []string) (map[string][]cluster
 		}
 	}
 	return out, nil
+}
+
+// collectMemberTraces pulls every member's trace lane for the sealed
+// experiment and merges it into tr, rebasing each lane by the negated
+// offset estimate from this experiment's sync rounds. Tracing is
+// best-effort observability: a lane that cannot be fetched or decoded is
+// logged and skipped, never failing the experiment.
+func (m *Member) collectMemberTraces(index int, peers []string, tr *obs.Trace) {
+	if tr == nil || len(peers) == 0 {
+		return
+	}
+	results, err := m.collectFrames(index, peers, opTrace, opTraceRes)
+	if err != nil {
+		m.c.Obs.Logf(obs.Warn, "campaign", "cluster %s: collecting member traces: %v", m.peer, err)
+		return
+	}
+	for _, peer := range sortedResultPeers(results) {
+		doc := joinDoc(results[peer], func(f clusterMsg) string { return f.Trace })
+		mt, err := obs.DecodeTraceString(doc)
+		if err != nil {
+			m.c.Obs.Logf(obs.Warn, "campaign", "cluster %s: decoding %s trace: %v", m.peer, peer, err)
+			continue
+		}
+		if mt == nil {
+			continue // the member has no trace buffer (it warned locally)
+		}
+		var offset time.Duration
+		if a, ok := m.align[peer]; ok && a.ok {
+			offset = -time.Duration(a.offsetNS)
+		}
+		tr.Merge(peer, mt, offset)
+		if mm := m.c.Obs.MemberMetrics(peer); mm != nil {
+			spans, events := mt.Counts()
+			mm.TraceSpans.Add(uint64(spans))
+			mm.TraceEvents.Add(uint64(events))
+		}
+	}
+}
+
+// pullMemberMetrics fetches every member's registry snapshot and imports
+// it into the coordinator's registry under a member label. Called at
+// study seal; best-effort like the trace pull.
+func (m *Member) pullMemberMetrics(index int) {
+	if m.c.Obs == nil || m.c.Obs.Metrics == nil {
+		return
+	}
+	peers := m.tr.Topology().PeerNames()
+	if len(peers) == 0 {
+		return
+	}
+	results, err := m.collectFrames(index, peers, opMetrics, opMetricsRes)
+	if err != nil {
+		m.c.Obs.Logf(obs.Warn, "campaign", "cluster %s: pulling member metrics: %v", m.peer, err)
+		return
+	}
+	for _, peer := range sortedResultPeers(results) {
+		doc := joinDoc(results[peer], func(f clusterMsg) string { return f.Metrics })
+		if doc == "" {
+			continue // the member runs without a registry
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal([]byte(doc), &snap); err != nil {
+			m.c.Obs.Logf(obs.Warn, "campaign", "cluster %s: decoding %s metrics: %v", m.peer, peer, err)
+			continue
+		}
+		if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) == 0 {
+			continue
+		}
+		m.c.Obs.Metrics.ImportSnapshot(peer, snap)
+	}
+}
+
+func sortedResultPeers(results map[string][]clusterMsg) []string {
+	out := make([]string, 0, len(results))
+	for p := range results {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // clusterStamps runs one synchronization mini-phase across the cluster:
@@ -963,10 +1205,13 @@ func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
 	// wrongly discard the experiment).
 	topo := m.tr.Topology()
 	tm := m.c.Obs.TransportMetrics(m.tr.Name())
+	proc := m.rt.Clock()
 	for _, host := range m.hosts {
 		if topo.Owner(host) == m.peer {
 			continue
 		}
+		peer := topo.Owner(host)
+		mm := m.c.Obs.MemberMetrics(peer)
 		okRounds := 0
 		for i := 0; i < cfg.Messages; i++ {
 			m.syncSeq++
@@ -975,6 +1220,7 @@ func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
 			if tm != nil {
 				rtt = obs.Now()
 			}
+			procSend := proc.Now()
 			refSend := refClock.Now()
 			ping := transport.Message{
 				Kind:    transport.KindSyncPing,
@@ -987,11 +1233,34 @@ func (m *Member) clusterStamps() ([]clocksync.StampedMessage, error) {
 			}
 			pong, ok := m.awaitPong(host, seq)
 			if !ok {
+				if mm != nil {
+					mm.SyncRoundsLost.Inc()
+				}
 				continue // a lost round trip only thins the sample set
 			}
 			refRecv := refClock.Now()
+			procRecv := proc.Now()
 			if tm != nil {
 				tm.RTTSeconds.ObserveSince(rtt)
+			}
+			if mm != nil {
+				mm.SyncRoundsOK.Inc()
+			}
+			// Process-clock alignment for trace-lane merging: NTP midpoint
+			// offset θ = ((t1-t0)+(t2-t3))/2, kept from the round with the
+			// smallest RTT (the standard minimum-delay filter). Orthogonal
+			// to the virtual-clock convex hull the analysis phase fits.
+			if pong.ProcRecv != 0 || pong.ProcSend != 0 {
+				pt0, pt3 := procSend.UnixNano(), procRecv.UnixNano()
+				roundRTT := (pt3 - pt0) - (pong.ProcSend - pong.ProcRecv)
+				off := ((pong.ProcRecv - pt0) + (pong.ProcSend - pt3)) / 2
+				if a, exists := m.align[peer]; !exists || !a.ok || roundRTT < a.rttNS {
+					m.align[peer] = memberAlign{offsetNS: off, rttNS: roundRTT, ok: true}
+					if mm != nil {
+						mm.ClockOffsetNS.Set(off)
+						mm.ClockRTTNS.Set(roundRTT)
+					}
+				}
 			}
 			msgs = append(msgs,
 				clocksync.StampedMessage{

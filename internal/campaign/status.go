@@ -144,6 +144,72 @@ func SummarizeJournal(dir string) (*JournalSummary, error) {
 	return sum, nil
 }
 
+// RecordSummary is one completed journal record as WalkJournal reports
+// it: the verdict-level fields a campaign report needs, without the raw
+// timelines and stamps.
+type RecordSummary struct {
+	Point              string
+	Index              int
+	Completed          bool
+	Accepted           bool
+	AnalysisError      string
+	ClockStepSuspected bool
+}
+
+// WalkJournal reads the checkpoint journal under dir and calls fn once
+// per completed record (a record whose fsync'd done marker survived), in
+// journal order. Like SummarizeJournal it is read-only and never
+// truncates a live tail. It returns the journal header's campaign name
+// and fingerprint.
+func WalkJournal(dir string, fn func(RecordSummary)) (campaignName, fingerprint string, err error) {
+	path := JournalPath(dir)
+	f, err := os.Open(path)
+	if err != nil {
+		return "", "", fmt.Errorf("campaign: walk journal: %w", err)
+	}
+	defer f.Close()
+	pending := make(map[journalKey]*recordWire)
+	_, _, err = scanJournal(bufio.NewReaderSize(f, 1<<20), "campaign: walk journal",
+		func(line journalLine) error {
+			if line.Journal == nil {
+				return fmt.Errorf("campaign: walk journal: %s is not a checkpoint journal", path)
+			}
+			if line.Journal.Version != journalVersion {
+				return fmt.Errorf("campaign: walk journal: journal version %d, this build reads %d",
+					line.Journal.Version, journalVersion)
+			}
+			campaignName = line.Journal.Campaign
+			fingerprint = line.Journal.Fingerprint
+			return nil
+		},
+		func(line journalLine) {
+			switch {
+			case line.Record != nil:
+				w := line.Record.Experiment
+				pending[journalKey{line.Record.Point, line.Record.Index}] = &w
+			case line.Done != nil:
+				key := *line.Done
+				w, ok := pending[key]
+				if !ok {
+					return
+				}
+				delete(pending, key)
+				fn(RecordSummary{
+					Point:              key.Point,
+					Index:              key.Index,
+					Completed:          w.Completed,
+					Accepted:           w.Accepted,
+					AnalysisError:      w.AnalysisError,
+					ClockStepSuspected: w.ClockStepSuspected,
+				})
+			}
+		})
+	if err != nil {
+		return "", "", err
+	}
+	return campaignName, fingerprint, nil
+}
+
 // ConfigFingerprint computes the campaign-level configuration fingerprint
 // journal headers carry — what a status query compares a summary against
 // to tell "this journal belongs to this configuration".

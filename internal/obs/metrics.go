@@ -26,10 +26,11 @@ func Now() time.Time { return time.Now() }
 // base name are grouped into one family on output. Registration is
 // idempotent: asking for an existing series returns it.
 type Registry struct {
-	mu     sync.Mutex
-	series map[string]interface{} // full series name -> *Counter | *Gauge | *Histogram
-	help   map[string]string      // base name -> help text
-	kind   map[string]string      // base name -> "counter" | "gauge" | "histogram"
+	mu      sync.Mutex
+	series  map[string]interface{} // full series name -> *Counter | *Gauge | *Histogram
+	help    map[string]string      // base name -> help text
+	kind    map[string]string      // base name -> "counter" | "gauge" | "histogram"
+	imports map[string]Snapshot    // member name -> last imported remote snapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -39,6 +40,37 @@ func NewRegistry() *Registry {
 		help:   make(map[string]string),
 		kind:   make(map[string]string),
 	}
+}
+
+// ImportSnapshot stores a remote member's registry snapshot. Imported
+// series are not merged into local values; they are rendered alongside
+// them by WriteProm and Snapshot with a `member="<name>"` label spliced
+// into each series, so the coordinator's /metrics endpoint and
+// metrics.json expose one fleet-wide surface. Re-importing for the same
+// member replaces the previous snapshot. Nil-receiver safe.
+func (r *Registry) ImportSnapshot(member string, snap Snapshot) {
+	if r == nil || member == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.imports == nil {
+		r.imports = make(map[string]Snapshot)
+	}
+	r.imports[member] = snap
+}
+
+// memberSeries rebuilds an imported series name with the member label:
+// (`a{k="v"}`, "beta") -> `a{k="v",member="beta"}`. Series that already
+// carry a member label (a shared loopback registry importing itself)
+// return ok=false and are skipped — splicing a second member label would
+// produce an invalid duplicate.
+func memberSeries(name, member string) (string, bool) {
+	base, labels := baseName(name)
+	if strings.Contains(labels, `member="`) {
+		return "", false
+	}
+	return base + mergeLabels(labels, fmt.Sprintf("member=%q", member)), true
 }
 
 // Counter is a monotonically increasing series. Nil-receiver safe.
@@ -238,25 +270,45 @@ func mergeLabels(labels, extra string) string {
 	return labels[:len(labels)-1] + "," + extra + "}"
 }
 
+// promLE parses a bucket upper-bound key ("+Inf" included) for sorting.
+func promLE(s string) float64 {
+	if s == "+Inf" {
+		return math.Inf(1)
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// sortedBucketKeys orders a HistSnapshot bucket map by bound, +Inf last.
+func sortedBucketKeys(b map[string]uint64) []string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return promLE(keys[i]) < promLE(keys[j]) })
+	return keys
+}
+
+// Imported series values carried through WriteProm's entry list.
+type importedCounter uint64
+type importedGauge int64
+
 // WriteProm writes the registry in Prometheus text exposition format
-// (version 0.0.4), families and series in sorted order.
+// (version 0.0.4), families and series in sorted order. Imported member
+// snapshots render as additional member-labeled series of the same
+// families.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.series))
-	for name := range r.series {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	type entry struct {
 		name string
 		m    interface{}
 	}
-	entries := make([]entry, 0, len(names))
-	for _, n := range names {
-		entries = append(entries, entry{n, r.series[n]})
+	entries := make([]entry, 0, len(r.series))
+	for name, m := range r.series {
+		entries = append(entries, entry{name, m})
 	}
 	help := make(map[string]string, len(r.help))
 	for k, v := range r.help {
@@ -266,6 +318,36 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for k, v := range r.kind {
 		kind[k] = v
 	}
+	for member, snap := range r.imports {
+		for name, v := range snap.Counters {
+			if full, ok := memberSeries(name, member); ok {
+				entries = append(entries, entry{full, importedCounter(v)})
+				base, _ := baseName(name)
+				if _, ok := kind[base]; !ok {
+					kind[base] = "counter"
+				}
+			}
+		}
+		for name, v := range snap.Gauges {
+			if full, ok := memberSeries(name, member); ok {
+				entries = append(entries, entry{full, importedGauge(v)})
+				base, _ := baseName(name)
+				if _, ok := kind[base]; !ok {
+					kind[base] = "gauge"
+				}
+			}
+		}
+		for name, v := range snap.Histograms {
+			if full, ok := memberSeries(name, member); ok {
+				entries = append(entries, entry{full, v})
+				base, _ := baseName(name)
+				if _, ok := kind[base]; !ok {
+					kind[base] = "histogram"
+				}
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 	r.mu.Unlock()
 
 	seen := make(map[string]bool)
@@ -310,6 +392,27 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, m.Count()); err != nil {
 				return err
 			}
+		case importedCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, uint64(m)); err != nil {
+				return err
+			}
+		case importedGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, int64(m)); err != nil {
+				return err
+			}
+		case HistSnapshot:
+			for _, k := range sortedBucketKeys(m.Buckets) {
+				le := mergeLabels(labels, fmt.Sprintf("le=%q", k))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, le, m.Buckets[k]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, fmtFloat(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, m.Count); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -331,8 +434,11 @@ type HistSnapshot struct {
 	Buckets map[string]uint64 `json:"buckets"` // le -> cumulative count
 }
 
-// Snapshot captures the registry's current values.
-func (r *Registry) Snapshot() Snapshot {
+// LocalSnapshot captures the values of locally registered series only,
+// excluding imported member snapshots. This is what a cluster member
+// ships to its coordinator: importing must never re-export series that
+// were themselves imported.
+func (r *Registry) LocalSnapshot() Snapshot {
 	snap := Snapshot{
 		Counters:   map[string]uint64{},
 		Gauges:     map[string]int64{},
@@ -343,6 +449,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.localSnapshotLocked(&snap)
+	return snap
+}
+
+func (r *Registry) localSnapshotLocked(snap *Snapshot) {
 	for name, m := range r.series {
 		switch m := m.(type) {
 		case *Counter:
@@ -359,6 +470,39 @@ func (r *Registry) Snapshot() Snapshot {
 			cum += m.counts[len(m.bounds)].Load()
 			hs.Buckets["+Inf"] = cum
 			snap.Histograms[name] = hs
+		}
+	}
+}
+
+// Snapshot captures the registry's current values, imported member
+// snapshots included (member-labeled, like WriteProm renders them).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.localSnapshotLocked(&snap)
+	for member, imp := range r.imports {
+		for name, v := range imp.Counters {
+			if full, ok := memberSeries(name, member); ok {
+				snap.Counters[full] = v
+			}
+		}
+		for name, v := range imp.Gauges {
+			if full, ok := memberSeries(name, member); ok {
+				snap.Gauges[full] = v
+			}
+		}
+		for name, v := range imp.Histograms {
+			if full, ok := memberSeries(name, member); ok {
+				snap.Histograms[full] = v
+			}
 		}
 	}
 	return snap

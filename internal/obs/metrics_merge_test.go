@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestImportSnapshotMerge: a coordinator registry with imported member
+// snapshots renders one fleet-wide surface — local series untouched,
+// imported series member-labeled — while LocalSnapshot stays strictly
+// local so a member can never re-export what it imported.
+func TestImportSnapshotMerge(t *testing.T) {
+	coord := NewRegistry()
+	coord.Counter(`loki_experiments_total{verdict="accepted"}`, "experiments").Add(4)
+
+	member := NewRegistry()
+	member.Counter(`loki_transport_frames_sent_total{transport="udp"}`, "frames").Add(17)
+	member.Gauge("loki_workers_busy", "busy workers").Set(2)
+	member.Histogram("loki_phase_seconds", "phase latency", nil).Observe(0.001)
+
+	coord.ImportSnapshot("beta", member.LocalSnapshot())
+
+	var prom strings.Builder
+	if err := coord.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	out := prom.String()
+	for _, w := range []string{
+		`loki_experiments_total{verdict="accepted"} 4`,
+		`loki_transport_frames_sent_total{transport="udp",member="beta"} 17`,
+		`loki_workers_busy{member="beta"} 2`,
+		`loki_phase_seconds_count{member="beta"} 1`,
+		`loki_phase_seconds_bucket{member="beta",le="+Inf"} 1`,
+		"# TYPE loki_transport_frames_sent_total counter",
+		"# TYPE loki_phase_seconds histogram",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("prom output missing %q in:\n%s", w, out)
+		}
+	}
+
+	snap := coord.Snapshot()
+	if snap.Counters[`loki_transport_frames_sent_total{transport="udp",member="beta"}`] != 17 {
+		t.Errorf("Snapshot missing member-labeled counter: %v", snap.Counters)
+	}
+	if snap.Gauges[`loki_workers_busy{member="beta"}`] != 2 {
+		t.Errorf("Snapshot missing member-labeled gauge: %v", snap.Gauges)
+	}
+
+	// LocalSnapshot excludes imports: what ships over the wire is only
+	// the process's own series.
+	local := coord.LocalSnapshot()
+	for name := range local.Counters {
+		if strings.Contains(name, `member="`) {
+			t.Errorf("LocalSnapshot leaked imported series %q", name)
+		}
+	}
+	if len(local.Gauges) != 0 {
+		t.Errorf("LocalSnapshot picked up imported gauges: %v", local.Gauges)
+	}
+
+	// Re-import replaces, not accumulates.
+	member.Counter(`loki_transport_frames_sent_total{transport="udp"}`, "frames").Add(3)
+	coord.ImportSnapshot("beta", member.LocalSnapshot())
+	if got := coord.Snapshot().Counters[`loki_transport_frames_sent_total{transport="udp",member="beta"}`]; got != 20 {
+		t.Errorf("re-import: counter = %d, want 20", got)
+	}
+
+	// A snapshot that already carries member labels (loopback cluster
+	// sharing one registry) is not double-labeled — those series are
+	// skipped entirely.
+	coord.ImportSnapshot("beta", coord.Snapshot())
+	out2 := func() string {
+		var b strings.Builder
+		if err := coord.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}()
+	if strings.Contains(out2, `member="beta",member="beta"`) {
+		t.Errorf("duplicate member label spliced:\n%s", out2)
+	}
+}
+
+// TestMemberMetrics: the coordinator-side per-member series register
+// under stable names and are nil-sink safe.
+func TestMemberMetrics(t *testing.T) {
+	var nilSink *Sink
+	if mm := nilSink.MemberMetrics("beta"); mm != nil {
+		t.Errorf("nil sink MemberMetrics = %v, want nil", mm)
+	}
+	s := &Sink{}
+	if mm := s.MemberMetrics("beta"); mm != nil {
+		t.Errorf("metrics-less sink MemberMetrics = %v, want nil", mm)
+	}
+
+	s = &Sink{Metrics: NewRegistry()}
+	mm := s.MemberMetrics("beta")
+	if mm == nil {
+		t.Fatal("MemberMetrics returned nil with a registry present")
+	}
+	if again := s.MemberMetrics("beta"); again != mm {
+		t.Error("MemberMetrics not idempotent per member")
+	}
+	mm.SyncRoundsOK.Add(8)
+	mm.ClockOffsetNS.Set(-1500)
+	var b strings.Builder
+	if err := s.Metrics.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, w := range []string{
+		`loki_member_sync_rounds_ok_total{member="beta"} 8`,
+		`loki_member_clock_offset_ns{member="beta"} -1500`,
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("member metrics missing %q in:\n%s", w, out)
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Sink struct {
 	// experiment's trace is written to
 	// TraceDir/<study-or-point>/expNNN.trace.jsonl.
 	TraceDir string
+	// TraceBuffer enables in-memory per-experiment trace capture without
+	// writing local artifacts — a cluster member sets it so the
+	// coordinator can pull its lane over the control protocol.
+	TraceBuffer bool
 
 	mu          sync.Mutex
 	watchers    map[int]func(Event)
@@ -53,10 +57,20 @@ type Sink struct {
 	campaignM     *CampaignMetrics
 	transportMu   sync.Mutex
 	transportKind map[string]*TransportMetrics
+	memberMu      sync.Mutex
+	memberName    map[string]*MemberMetrics
 }
 
-// Tracing reports whether per-experiment traces should be collected.
+// Tracing reports whether per-experiment traces should be collected and
+// written to TraceDir.
 func (s *Sink) Tracing() bool { return s != nil && s.TraceDir != "" }
+
+// CapturesTraces reports whether this process records spans and events at
+// all — into artifacts (TraceDir) or into in-memory buffers for cluster
+// relay (TraceBuffer).
+func (s *Sink) CapturesTraces() bool {
+	return s != nil && (s.TraceDir != "" || s.TraceBuffer)
+}
 
 // Logf forwards to the sink's logger; a nil sink or logger discards.
 func (s *Sink) Logf(lv Level, component, format string, args ...interface{}) {
@@ -85,6 +99,9 @@ type Event struct {
 	// AcceptedOne reports whether this experiment was accepted
 	// (EventExperiment only).
 	AcceptedOne bool
+	// Member is the emitting cluster member's peer name; empty for
+	// single-process runs.
+	Member string
 }
 
 // Event kinds.
@@ -268,6 +285,47 @@ func (m *TransportMetrics) Recv(bytes int) {
 	}
 	m.FramesRecv.Inc()
 	m.BytesRecv.Add(uint64(bytes))
+}
+
+// MemberMetrics is the coordinator's per-member fleet bundle: clock-sync
+// quality against that member and how much of its trace lane was merged.
+type MemberMetrics struct {
+	SyncRoundsOK   *Counter // sync round trips answered
+	SyncRoundsLost *Counter // sync round trips that timed out
+	ClockOffsetNS  *Gauge   // latest estimated member-minus-coordinator offset
+	ClockRTTNS     *Gauge   // RTT of the round that produced the estimate
+	TraceSpans     *Counter // spans merged from this member's lane
+	TraceEvents    *Counter // events merged from this member's lane
+}
+
+// MemberMetrics returns the fleet bundle for one member peer name, or nil
+// when metrics are disabled.
+func (s *Sink) MemberMetrics(member string) *MemberMetrics {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	s.memberMu.Lock()
+	defer s.memberMu.Unlock()
+	if s.memberName == nil {
+		s.memberName = make(map[string]*MemberMetrics)
+	}
+	if m, ok := s.memberName[member]; ok {
+		return m
+	}
+	r := s.Metrics
+	label := func(name string) string {
+		return fmt.Sprintf(`%s{member=%q}`, name, member)
+	}
+	m := &MemberMetrics{
+		SyncRoundsOK:   r.Counter(label("loki_member_sync_rounds_ok_total"), "Clock-sync round trips answered by the member."),
+		SyncRoundsLost: r.Counter(label("loki_member_sync_rounds_lost_total"), "Clock-sync round trips to the member that timed out."),
+		ClockOffsetNS:  r.Gauge(label("loki_member_clock_offset_ns"), "Estimated member process clock minus coordinator clock, min-RTT round."),
+		ClockRTTNS:     r.Gauge(label("loki_member_clock_rtt_ns"), "Round-trip time of the sync round behind the offset estimate."),
+		TraceSpans:     r.Counter(label("loki_member_trace_spans_total"), "Trace spans merged from the member's lane."),
+		TraceEvents:    r.Counter(label("loki_member_trace_events_total"), "Trace events merged from the member's lane."),
+	}
+	s.memberName[member] = m
+	return m
 }
 
 // TransportMetrics returns the bundle for one transport kind ("inproc",

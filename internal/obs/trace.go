@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -35,20 +36,25 @@ type Trace struct {
 }
 
 // Span is a named interval: an experiment phase or a per-fault injection
-// window.
+// window. Member is empty for spans recorded by the owning process (the
+// coordinator, in clustered runs) and carries the member peer name for
+// spans merged in from a remote lane via Merge.
 type Span struct {
-	Name  string `json:"name"`
-	Start int64  `json:"start"` // ns
-	End   int64  `json:"end"`   // ns
+	Name   string `json:"name"`
+	Start  int64  `json:"start"` // ns
+	End    int64  `json:"end"`   // ns
+	Member string `json:"member,omitempty"`
 }
 
 // TracePoint is an instantaneous event: a chaos action, transport frame,
-// probe state change, injection, crash, or verdict.
+// probe state change, injection, crash, or verdict. Member is set only on
+// events merged from a remote member lane.
 type TracePoint struct {
 	At     int64  `json:"at"` // ns
 	Cat    string `json:"cat"`
 	Name   string `json:"name"`
 	Detail string `json:"detail,omitempty"`
+	Member string `json:"member,omitempty"`
 }
 
 // Event categories.
@@ -105,7 +111,10 @@ func (t *Trace) sorted() ([]Span, []TracePoint) {
 		if a.End != b.End {
 			return a.End < b.End
 		}
-		return a.Name < b.Name
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Member < b.Member
 	})
 	sort.Slice(events, func(i, j int) bool {
 		a, b := events[i], events[j]
@@ -118,18 +127,110 @@ func (t *Trace) sorted() ([]Span, []TracePoint) {
 		if a.Name != b.Name {
 			return a.Name < b.Name
 		}
-		return a.Detail < b.Detail
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return a.Member < b.Member
 	})
 	return spans, events
 }
 
-// traceHeader is the artifact's first line.
+// Merge folds another trace into t as a member lane: every span and event
+// from other is stamped with the member name (unless it already carries
+// one from an earlier merge) and shifted by offset, which rebases the
+// member's timestamps onto t's clock. A coordinator that estimated the
+// member's clock to run θ ahead of its own passes offset = -θ.
+// Nil-receiver and nil-argument safe.
+func (t *Trace) Merge(member string, other *Trace, offset time.Duration) {
+	if t == nil || other == nil {
+		return
+	}
+	d := offset.Nanoseconds()
+	spans, events := other.sorted()
+	t.mu.Lock()
+	for _, s := range spans {
+		if s.Member == "" {
+			s.Member = member
+		}
+		s.Start += d
+		s.End += d
+		t.spans = append(t.spans, s)
+	}
+	for _, e := range events {
+		if e.Member == "" {
+			e.Member = member
+		}
+		e.At += d
+		t.events = append(t.events, e)
+	}
+	t.mu.Unlock()
+}
+
+// Members returns the sorted distinct member lane names present in the
+// trace. The owning process's lane (empty member) is not listed.
+func (t *Trace) Members() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	set := map[string]bool{}
+	for _, s := range t.spans {
+		if s.Member != "" {
+			set[s.Member] = true
+		}
+	}
+	for _, e := range t.events {
+		if e.Member != "" {
+			set[e.Member] = true
+		}
+	}
+	t.mu.Unlock()
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Spans returns a content-sorted copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	spans, _ := t.sorted()
+	return spans
+}
+
+// Events returns a content-sorted copy of the recorded point events.
+func (t *Trace) Events() []TracePoint {
+	if t == nil {
+		return nil
+	}
+	_, events := t.sorted()
+	return events
+}
+
+// Counts returns the number of spans and events currently recorded.
+func (t *Trace) Counts() (spans, events int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans), len(t.events)
+}
+
+// traceHeader is the artifact's first line. Members lists the merged
+// member lanes (omitted for single-process traces, keeping pre-merge
+// artifacts byte-identical to earlier versions).
 type traceHeader struct {
-	Trace  string `json:"trace"` // format marker + version, "loki/1"
-	Point  string `json:"point"`
-	Index  int    `json:"index"`
-	Spans  int    `json:"spans"`
-	Events int    `json:"events"`
+	Trace   string   `json:"trace"` // format marker + version, "loki/1"
+	Point   string   `json:"point"`
+	Index   int      `json:"index"`
+	Spans   int      `json:"spans"`
+	Events  int      `json:"events"`
+	Members []string `json:"members,omitempty"`
 }
 
 type traceLine struct {
@@ -146,6 +247,7 @@ func (t *Trace) Encode(w io.Writer) error {
 	if err := enc.Encode(traceHeader{
 		Trace: "loki/1", Point: t.Point, Index: t.Index,
 		Spans: len(spans), Events: len(events),
+		Members: t.Members(),
 	}); err != nil {
 		return err
 	}
@@ -160,6 +262,28 @@ func (t *Trace) Encode(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// EncodeString returns the Encode artifact as a string, for shipping a
+// trace over a wire protocol.
+func (t *Trace) EncodeString() (string, error) {
+	if t == nil {
+		return "", nil
+	}
+	var b strings.Builder
+	if err := t.Encode(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// DecodeTraceString parses an artifact produced by EncodeString. An empty
+// string decodes to nil (the wire form of "no trace recorded").
+func DecodeTraceString(s string) (*Trace, error) {
+	if s == "" {
+		return nil, nil
+	}
+	return DecodeTrace(strings.NewReader(s))
 }
 
 // DecodeTrace parses an artifact produced by Encode.
@@ -211,10 +335,13 @@ type chromeEvent struct {
 }
 
 // WriteChrome exports the trace in Chrome trace_event format, loadable in
-// Perfetto (ui.perfetto.dev) or chrome://tracing. Spans become complete
-// ("X") events on tid 1 — the viewer nests them by interval containment —
-// and point events become thread-scoped instants ("i") on tid 2, grouped
-// by category.
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each lane — the owning
+// process first, then merged member lanes in sorted name order — becomes
+// its own pid (named via process_name metadata); within a lane, spans
+// become complete ("X") events on tid 1 — the viewer nests them by
+// interval containment — and point events become thread-scoped instants
+// ("i") on tid 2, grouped by category. Merged member timestamps were
+// rebased onto the owner's clock by Merge, so lanes render time-aligned.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	spans, events := t.sorted()
 	// Rebase on the earliest timestamp so virtual-epoch and wall-clock
@@ -227,18 +354,36 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		t0 = events[0].At
 	}
 	us := func(ns int64) float64 { return float64(ns-t0) / 1e3 }
-	out := make([]chromeEvent, 0, len(spans)+len(events))
+	// pid 1 is the owning process's lane; merged members get 2, 3, ...
+	// in sorted name order so lane assignment is deterministic.
+	pids := map[string]int{"": 1}
+	for i, m := range t.Members() {
+		pids[m] = 2 + i
+	}
+	out := make([]chromeEvent, 0, len(spans)+len(events)+len(pids))
+	for name, pid := range pids {
+		label := name
+		if label == "" {
+			label = "coordinator"
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 1,
+			Args: map[string]string{"name": label},
+		})
+	}
+	// Metadata order from map iteration is random; fix it.
+	sort.Slice(out, func(i, j int) bool { return out[i].Pid < out[j].Pid })
 	for _, s := range spans {
 		out = append(out, chromeEvent{
 			Name: s.Name, Cat: CatPhase, Ph: "X",
 			Ts: us(s.Start), Dur: float64(s.End-s.Start) / 1e3,
-			Pid: 1, Tid: 1,
+			Pid: pids[s.Member], Tid: 1,
 		})
 	}
 	for _, e := range events {
 		ev := chromeEvent{
 			Name: e.Name, Cat: e.Cat, Ph: "i", S: "t",
-			Ts: us(e.At), Pid: 1, Tid: 2,
+			Ts: us(e.At), Pid: pids[e.Member], Tid: 2,
 		}
 		if e.Detail != "" {
 			ev.Args = map[string]string{"detail": e.Detail}

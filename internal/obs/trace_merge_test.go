@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// mergedFixture builds a coordinator trace plus two member lanes with
+// known clock offsets and merges them, mimicking what the cluster
+// coordinator does after an experiment: alpha's process clock runs 5ms
+// ahead of the coordinator's (merge offset -5ms), beta's 2ms behind
+// (merge offset +2ms). All inputs are fixed, so the merged trace is a
+// deterministic artifact.
+func mergedFixture(mergeOrder []string) *Trace {
+	base := time.Unix(0, 0)
+	at := func(d time.Duration) time.Time { return base.Add(d) }
+
+	tr := NewTrace("election/fast", 3)
+	tr.Span("reset", at(0), at(2*time.Millisecond))
+	tr.Span("clock-sync-pre", at(2*time.Millisecond), at(6*time.Millisecond))
+	tr.Span("experiment", at(6*time.Millisecond), at(40*time.Millisecond))
+	tr.Event(at(40*time.Millisecond), CatVerdict, "accepted", "")
+
+	lanes := map[string]func() (*Trace, time.Duration){
+		"alpha": func() (*Trace, time.Duration) {
+			m := NewTrace("election/fast", 3)
+			// alpha's clock reads 5ms ahead: local 11ms is coordinator 6ms.
+			m.Span("experiment", at(11*time.Millisecond), at(45*time.Millisecond))
+			m.Event(at(20*time.Millisecond), CatProbe, "black", "IDLE->ELECT")
+			m.Event(at(25*time.Millisecond), CatTransport, "send", "h1->h2")
+			return m, -5 * time.Millisecond
+		},
+		"beta": func() (*Trace, time.Duration) {
+			m := NewTrace("election/fast", 3)
+			// beta's clock reads 2ms behind: local 4ms is coordinator 6ms.
+			m.Span("experiment", at(4*time.Millisecond), at(38*time.Millisecond))
+			m.Event(at(10*time.Millisecond), CatInject, "bfault1", "green")
+			return m, 2 * time.Millisecond
+		},
+	}
+	for _, name := range mergeOrder {
+		lane, offset := lanes[name]()
+		tr.Merge(name, lane, offset)
+	}
+	return tr
+}
+
+// TestTraceMergeChromeGolden pins the Chrome export of a merged
+// multi-member trace byte-for-byte: lane-to-pid assignment, metadata
+// ordering, tid separation of spans vs events, and offset-aligned
+// timestamps are all load-bearing for viewers and must not drift.
+func TestTraceMergeChromeGolden(t *testing.T) {
+	tr := mergedFixture([]string{"alpha", "beta"})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "merged.chrome.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export drifted from golden (rerun with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	out := buf.String()
+	// Every lane must be named: pid 1 is the coordinator, members get
+	// 2, 3, ... in sorted name order.
+	for _, w := range []string{`"name": "coordinator"`, `"name": "alpha"`, `"name": "beta"`} {
+		if !strings.Contains(out, w) {
+			t.Errorf("chrome export missing process_name metadata %q", w)
+		}
+	}
+	// alpha's experiment span started at local 11ms with a -5ms merge
+	// offset, beta's at local 4ms with +2ms: both must land at
+	// coordinator time 6ms — ts 6000µs after the t0=0 rebase — exactly
+	// where the coordinator's own experiment span sits.
+	if got := strings.Count(out, `"ts": 6000,`); got != 3 {
+		t.Errorf("offset-aligned experiment spans at ts 6000µs: got %d, want 3 (coordinator + alpha + beta)\n%s", got, out)
+	}
+	if got := strings.Count(out, `"dur": 34000`); got != 3 {
+		t.Errorf("34ms experiment spans: got %d, want 3\n%s", got, out)
+	}
+}
+
+// TestTraceMergeDeterministic: the merged artifact is a pure function of
+// its contents — merge order must not leak into the encoding, and a
+// decode/encode round trip must preserve member lanes.
+func TestTraceMergeDeterministic(t *testing.T) {
+	a := mergedFixture([]string{"alpha", "beta"})
+	b := mergedFixture([]string{"beta", "alpha"})
+	var ea, eb bytes.Buffer
+	if err := a.Encode(&ea); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea.Bytes(), eb.Bytes()) {
+		t.Fatalf("merge order changed encoding:\n%s\nvs\n%s", ea.Bytes(), eb.Bytes())
+	}
+
+	if got := a.Members(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Errorf("Members() = %v, want [alpha beta]", got)
+	}
+	if !strings.Contains(ea.String(), `"members":["alpha","beta"]`) {
+		t.Errorf("header missing members list:\n%s", ea.String())
+	}
+
+	dec, err := DecodeTrace(bytes.NewReader(ea.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re bytes.Buffer
+	if err := dec.Encode(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re.Bytes(), ea.Bytes()) {
+		t.Error("decode/encode round trip changed merged trace bytes")
+	}
+
+	// The wire form round-trips too, and its empty-string degenerate
+	// case maps to nil on both ends.
+	s, err := a.EncodeString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != ea.String() {
+		t.Error("EncodeString differs from Encode")
+	}
+	if tr, err := DecodeTraceString(""); err != nil || tr != nil {
+		t.Errorf("DecodeTraceString(\"\") = %v, %v; want nil, nil", tr, err)
+	}
+	var nilTrace *Trace
+	if s, err := nilTrace.EncodeString(); err != nil || s != "" {
+		t.Errorf("nil EncodeString = %q, %v; want \"\", nil", s, err)
+	}
+}
+
+// TestTraceMergeStampsAndShifts: Merge stamps the member name only on
+// unlabeled entries (a re-merged lane keeps its original attribution)
+// and shifts every timestamp by the offset.
+func TestTraceMergeStampsAndShifts(t *testing.T) {
+	base := time.Unix(0, 0)
+	inner := NewTrace("p", 0)
+	inner.Span("experiment", base.Add(10*time.Millisecond), base.Add(20*time.Millisecond))
+
+	mid := NewTrace("p", 0)
+	mid.Merge("gamma", inner, 0) // stamps gamma
+	outer := NewTrace("p", 0)
+	outer.Merge("delta", mid, time.Millisecond)
+
+	spans := outer.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].Member != "gamma" {
+		t.Errorf("re-merge overwrote member: %q, want gamma", spans[0].Member)
+	}
+	if want := base.Add(11 * time.Millisecond).UnixNano(); spans[0].Start != want {
+		t.Errorf("offset not applied: start %d, want %d", spans[0].Start, want)
+	}
+}

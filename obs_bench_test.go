@@ -14,7 +14,11 @@ import (
 	"time"
 
 	loki "repro"
+	"repro/internal/apps/election"
+	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/spec"
 )
 
 // obsModes enumerates the benchmarked observer configurations.
@@ -74,6 +78,75 @@ func BenchmarkObserverOverhead(b *testing.B) {
 	}
 }
 
+// clusteredBenchCampaign builds a plain three-peer election study for the
+// UDP loopback cluster — no faults, so the measured cost is protocol and
+// observability machinery, not chaos work.
+func clusteredBenchCampaign(experiments int) *campaign.Campaign {
+	peers := []string{"black", "green", "yellow"}
+	hosts := []string{"h1", "h2", "h3"}
+	var nodes []core.NodeDef
+	var placement []spec.NodeEntry
+	for i, nick := range peers {
+		in := election.New(election.Config{Peers: peers, RunFor: 20 * time.Millisecond, Seed: 7 + int64(i)})
+		nodes = append(nodes, core.NodeDef{Nickname: nick, Spec: election.SpecFor(nick, peers), App: in})
+		placement = append(placement, spec.NodeEntry{Nickname: nick, Host: hosts[i]})
+	}
+	return &campaign.Campaign{
+		Name:  "clustered-obs-bench",
+		Hosts: []campaign.HostDef{{Name: "h1"}, {Name: "h2"}, {Name: "h3"}},
+		Studies: []*campaign.Study{{
+			Name: "election", Nodes: nodes, Placement: placement,
+			Experiments: experiments, Timeout: 10 * time.Second,
+		}},
+		Sync: campaign.SyncConfig{Messages: 4, Transit: 25 * time.Microsecond},
+	}
+}
+
+// runClusteredObsBench runs the study over the 3-endpoint UDP loopback
+// cluster, with or without per-experiment tracing (member lanes pulled
+// and merged), and returns the experiment count.
+func runClusteredObsBench(tb testing.TB, experiments int, traced bool, dir string) int {
+	tb.Helper()
+	c := clusteredBenchCampaign(experiments)
+	if traced {
+		c.Obs = &obs.Sink{TraceDir: dir, Metrics: obs.NewRegistry()}
+	}
+	sr, err := campaign.RunClustered(c, c.Studies[0], "udp")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(sr.Records) != experiments {
+		tb.Fatalf("records = %d, want %d", len(sr.Records), experiments)
+	}
+	return len(sr.Records)
+}
+
+// BenchmarkClusteredTracingOverhead measures UDP loopback cluster
+// throughput with tracing off (the trace-stream protocol idle: one flag
+// on the reset frame, no pulls) and on (member lanes recorded, pulled,
+// offset-aligned, merged, written).
+func BenchmarkClusteredTracingOverhead(b *testing.B) {
+	const experiments = 2
+	for _, traced := range []bool{false, true} {
+		name := "tracing=off"
+		if traced {
+			name = "tracing=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total += runClusteredObsBench(b, experiments, traced, b.TempDir())
+			}
+			elapsed := time.Since(start).Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(total)/elapsed, "experiments/sec")
+			}
+		})
+	}
+}
+
 // TestEmitObsBenchJSON regenerates BENCH_obs.json: throughput per observer
 // mode plus the disabled notify path's allocations per op. Skipped in
 // -short mode.
@@ -92,6 +165,7 @@ func TestEmitObsBenchJSON(t *testing.T) {
 		Rows                []row   `json:"rows"`
 		MetricsOverheadPct  float64 `json:"metrics_overhead_pct"`
 		TracingOverheadPct  float64 `json:"full_tracing_overhead_pct"`
+		ClusteredTracingPct float64 `json:"clustered_tracing_overhead_pct"`
 		DisabledNotifyAlloc float64 `json:"disabled_notify_allocs_per_op"`
 	}
 	const perPoint, rounds = 25, 8
@@ -119,6 +193,34 @@ func TestEmitObsBenchJSON(t *testing.T) {
 	}
 	out.MetricsOverheadPct = 100 * (1 - persec["metrics"]/persec["off"])
 	out.TracingOverheadPct = 100 * (1 - persec["full"]/persec["off"])
+
+	// Clustered rows: real-time UDP loopback, trace-stream protocol idle
+	// vs fully active (lanes recorded, pulled, merged, written).
+	const clusteredExp, clusteredRounds = 2, 3
+	cElapsed := map[bool]float64{}
+	cTotal := map[bool]int{}
+	for _, traced := range []bool{false, true} {
+		runClusteredObsBench(t, clusteredExp, traced, t.TempDir()) // warm-up
+	}
+	for i := 0; i < clusteredRounds; i++ {
+		for _, traced := range []bool{false, true} {
+			start := time.Now()
+			cTotal[traced] += runClusteredObsBench(t, clusteredExp, traced, t.TempDir())
+			cElapsed[traced] += time.Since(start).Seconds()
+		}
+	}
+	cPersec := map[bool]float64{}
+	for _, traced := range []bool{false, true} {
+		mode := "clustered-udp-plain"
+		if traced {
+			mode = "clustered-udp-traced"
+		}
+		cPersec[traced] = float64(cTotal[traced]) / cElapsed[traced]
+		out.Rows = append(out.Rows, row{Mode: mode, Experiments: cTotal[traced],
+			ElapsedSec: cElapsed[traced], ExperimentsSec: cPersec[traced]})
+		t.Logf("%s: %.1f experiments/sec", mode, cPersec[traced])
+	}
+	out.ClusteredTracingPct = 100 * (1 - cPersec[true]/cPersec[false])
 
 	var sink *obs.Sink
 	ev := obs.Event{Kind: obs.EventExperiment, Point: "p", Index: 1}

@@ -1,12 +1,14 @@
 package loki
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 // Session-level observability: the options below configure one obs.Sink
@@ -92,6 +94,19 @@ func WithTracing(dir string) Option {
 	}
 }
 
+// WithTraceBuffer enables in-memory per-experiment trace capture without
+// writing local artifacts — how a cluster member (lokid -trace, no -out)
+// records its lane so the coordinator can pull it over the control
+// protocol and merge it into the campaign's trace artifacts. Implied by
+// WithTracing; a member with neither set answers trace pulls with an
+// empty lane and logs a warning.
+func WithTraceBuffer() Option {
+	return func(s *Session) error {
+		s.sink().TraceBuffer = true
+		return nil
+	}
+}
+
 // WithLogging sends the engines' structured diagnostics at or above min
 // to w.
 func WithLogging(w io.Writer, min LogLevel) Option {
@@ -172,4 +187,30 @@ func (s *Session) writeMetricsSnapshot() error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeReport renders report.html/report.json over whatever artifacts
+// the run left behind. Auto-emission is best-effort: a run that produced
+// no reportable artifacts (no journal, metrics, or traces) simply writes
+// no report.
+func (s *Session) writeReport() error {
+	if s.artifacts == "" {
+		return nil
+	}
+	opt := report.Options{Dir: s.artifacts}
+	if s.c != nil && s.c.Checkpoint != nil && s.c.Checkpoint.Dir != "" {
+		opt.JournalDir = s.c.Checkpoint.Dir
+	}
+	if _, err := report.Generate(opt); err != nil && !errors.Is(err, report.ErrNoArtifacts) {
+		return err
+	}
+	return nil
+}
+
+// GenerateReport renders report.html and report.json from the artifacts
+// under dir — checkpoint journal, metrics.json, traces/ — without
+// running anything, returning the HTML path. `lokirun -report` is this
+// function.
+func GenerateReport(dir string) (string, error) {
+	return report.Generate(report.Options{Dir: dir})
 }

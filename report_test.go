@@ -1,0 +1,135 @@
+package loki_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	loki "repro"
+)
+
+// TestReportAutoEmitAndRegenerate: a run with artifacts enabled ends by
+// writing report.html/report.json over its own journal, metrics, and
+// traces; GenerateReport then re-renders byte-identical output from the
+// artifacts alone — the `lokirun -report` path, no re-run involved.
+func TestReportAutoEmitAndRegenerate(t *testing.T) {
+	dir := t.TempDir()
+	runChaosObserved(t,
+		loki.WithArtifacts(dir), loki.WithMetrics(),
+		loki.WithTracing(""), loki.WithCheckpoint(dir, false))
+
+	jsonPath := filepath.Join(dir, "report.json")
+	first, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("report.json not auto-emitted: %v", err)
+	}
+	htmlFirst, err := os.ReadFile(filepath.Join(dir, "report.html"))
+	if err != nil {
+		t.Fatalf("report.html not auto-emitted: %v", err)
+	}
+
+	var data struct {
+		Campaign string `json:"campaign"`
+		Sources  struct {
+			Journal bool `json:"journal"`
+			Metrics bool `json:"metrics"`
+			Traces  int  `json:"traces"`
+		} `json:"sources"`
+		Totals struct {
+			Experiments int `json:"experiments"`
+		} `json:"totals"`
+		Points []struct {
+			Point string `json:"point"`
+		} `json:"points"`
+		Phases []struct {
+			Phase string `json:"phase"`
+			Count int    `json:"count"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(first, &data); err != nil {
+		t.Fatal(err)
+	}
+	if !data.Sources.Journal || !data.Sources.Metrics || data.Sources.Traces == 0 {
+		t.Errorf("report sources incomplete: %+v", data.Sources)
+	}
+	if data.Campaign != "chaos-bench" {
+		t.Errorf("campaign = %q", data.Campaign)
+	}
+	// 2 matrix points x 2 experiments.
+	if data.Totals.Experiments != 4 {
+		t.Errorf("total experiments = %d, want 4", data.Totals.Experiments)
+	}
+	if len(data.Points) != 2 {
+		t.Errorf("points = %+v, want 2", data.Points)
+	}
+	phases := map[string]bool{}
+	for _, p := range data.Phases {
+		phases[p.Phase] = true
+	}
+	for _, want := range []string{"reset", "clock-sync-pre", "experiment"} {
+		if !phases[want] {
+			t.Errorf("phase stats missing %q (have %v)", want, data.Phases)
+		}
+	}
+
+	html := string(htmlFirst)
+	for _, w := range []string{"<!doctype html", "Verdicts", "Phase latencies", "chaos-bench"} {
+		if !strings.Contains(html, w) {
+			t.Errorf("report.html missing %q", w)
+		}
+	}
+
+	// Standalone regeneration over unchanged artifacts is byte-identical
+	// — the report is a pure function of its inputs.
+	htmlPath, err := loki.GenerateReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if htmlPath != filepath.Join(dir, "report.html") {
+		t.Errorf("GenerateReport path = %q", htmlPath)
+	}
+	second, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("regenerated report.json differs from auto-emitted one")
+	}
+	htmlSecond, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(htmlFirst) != string(htmlSecond) {
+		t.Error("regenerated report.html differs from auto-emitted one")
+	}
+}
+
+// TestReportNoArtifacts: GenerateReport over an empty directory fails
+// loudly; a bare WithArtifacts run (which implies a checkpoint journal)
+// still gets a journal-only report.
+func TestReportNoArtifacts(t *testing.T) {
+	if _, err := loki.GenerateReport(t.TempDir()); err == nil {
+		t.Error("GenerateReport over empty dir succeeded")
+	}
+	dir := t.TempDir()
+	runChaosObserved(t, loki.WithArtifacts(dir))
+	b, err := os.ReadFile(filepath.Join(dir, "report.json"))
+	if err != nil {
+		t.Fatalf("journal-only report not emitted: %v", err)
+	}
+	var data struct {
+		Sources struct {
+			Journal bool `json:"journal"`
+			Metrics bool `json:"metrics"`
+			Traces  int  `json:"traces"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal(b, &data); err != nil {
+		t.Fatal(err)
+	}
+	if !data.Sources.Journal || data.Sources.Metrics || data.Sources.Traces != 0 {
+		t.Errorf("journal-only run sources = %+v", data.Sources)
+	}
+}

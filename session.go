@@ -762,7 +762,10 @@ func (s *Session) writeRunArtifacts(res *SessionResult) error {
 			}
 		}
 	}
-	return s.writeMetricsSnapshot()
+	if err := s.writeMetricsSnapshot(); err != nil {
+		return err
+	}
+	return s.writeReport()
 }
 
 // underDir joins a study/point name under base, confined: the name's "/"
@@ -831,7 +834,10 @@ func (s *Session) writeRawArtifacts(e *Experiment) error {
 	}
 	if e.Record == nil || !e.Record.Completed || e.Record.AnalysisError != "" {
 		// No timelines to trust, but the run's metrics still happened.
-		return s.writeMetricsSnapshot()
+		if err := s.writeMetricsSnapshot(); err != nil {
+			return err
+		}
+		return s.writeReport()
 	}
 	if err := os.MkdirAll(s.artifacts, 0o755); err != nil {
 		return err
@@ -860,5 +866,8 @@ func (s *Session) writeRawArtifacts(e *Experiment) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return s.writeMetricsSnapshot()
+	if err := s.writeMetricsSnapshot(); err != nil {
+		return err
+	}
+	return s.writeReport()
 }

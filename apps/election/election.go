@@ -10,25 +10,27 @@
 // level of Fig. 5.1 (INIT, ELECT, LEAD, FOLLOW, RESTART_SM, CRASH, EXIT).
 // Leader-crash detection, which the thesis leaves to the application,
 // uses leader heartbeats over the application bus.
+//
+// The package is written against the public SPI (repro/app) only and
+// registers itself as "election" — the exemplar for user applications.
 package election
 
 import (
-	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"time"
 
-	"repro/internal/clock"
-	"repro/internal/core"
-	"repro/internal/probe"
-	"repro/internal/spec"
+	"repro/app"
 )
 
 func init() {
 	// Bus messages must survive a socket transport's gob envelope.
-	gob.Register(voteMsg{})
-	gob.Register(heartbeatMsg{})
+	app.RegisterMessage(voteMsg{}, heartbeatMsg{})
+	app.MustRegister("election", func(p app.Params) (*app.Instrumented, *app.StateMachine) {
+		in := New(Config{Peers: p.Peers, RunFor: p.RunFor, Seed: p.Seed})
+		return in, SpecFor(p.Nick, p.Peers)
+	})
 }
 
 // Events of the Fig. 5.1 state machine.
@@ -57,7 +59,7 @@ const (
 // with the notify lists pointing at the other processes — derived, as §5.3
 // explains, from the fault specifications' need to observe INIT,
 // RESTART_SM, and CRASH remotely.
-func SpecFor(self string, peers []string) *spec.StateMachine {
+func SpecFor(self string, peers []string) *app.StateMachine {
 	notify := ""
 	for _, p := range peers {
 		if p != self {
@@ -117,11 +119,7 @@ state FOLLOW notify%[1]s
 state CRASH notify%[1]s
 state EXIT notify%[1]s
 `, notify)
-	m, err := spec.ParseStateMachine(doc)
-	if err != nil {
-		panic("election: internal spec error: " + err.Error())
-	}
-	return m
+	return app.MustParseSpec(doc)
 }
 
 // Config parameterizes one election process.
@@ -168,8 +166,8 @@ type heartbeatMsg struct {
 // proc is one running election process.
 type proc struct {
 	cfg Config
-	h   *core.Handle
-	clk clock.Clock
+	h   *app.Handle
+	clk app.Clock
 	rng *rand.Rand
 
 	round    int
@@ -180,11 +178,11 @@ type proc struct {
 }
 
 // New builds the instrumented application for one process. Fault actions
-// (e.g. probe.CrashFault for bfault1) are registered by the caller on the
+// (e.g. app.CrashFault for bfault1) are registered by the caller on the
 // returned Instrumented.
-func New(cfg Config) *probe.Instrumented {
+func New(cfg Config) *app.Instrumented {
 	cfg.setDefaults()
-	return probe.NewInstrumented(func(h *core.Handle) {
+	return app.New(func(h *app.Handle) {
 		// Derive a per-process seed by hashing the nickname: distinct
 		// processes must draw distinct vote streams even under identical
 		// configured seeds, or elections tie forever (§5.2's arbitration
@@ -403,11 +401,11 @@ func (p *proc) reElect() bool {
 	return false // electLoop only returns when the process is done
 }
 
-func (p *proc) tryMessage() (core.AppMessage, bool) {
+func (p *proc) tryMessage() (app.Message, bool) {
 	select {
 	case m := <-p.h.Inbox():
 		return m, true
 	default:
-		return core.AppMessage{}, false
+		return app.Message{}, false
 	}
 }

@@ -1,0 +1,217 @@
+package quorum_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	loki "repro"
+	"repro/apps/quorum"
+)
+
+func TestThreshold(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {6, 4}, {7, 5}, {9, 6}, {10, 7},
+	} {
+		if got := quorum.Threshold(tc.n); got != tc.want {
+			t.Errorf("Threshold(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// The test campaign is the example's matrix shrunk to its load-bearing
+// scenarios: a clean round (baseline, must sign), a below-threshold round
+// (two-down, must abort), and an unverifiable injection (quorum-flash,
+// analysis must reject). Virtual time makes the runs instant and the
+// accepted sets exactly reproducible.
+const matrixDoc = `{
+  "name": "quorum-test",
+  "virtual_time": true,
+  "hosts": [
+    {"name": "h1"},
+    {"name": "h2", "offset_ns": 5000000, "drift_ppm": 80},
+    {"name": "h3", "offset_ns": -2000000, "drift_ppm": -45},
+    {"name": "h4", "offset_ns": 3500000, "drift_ppm": 120}
+  ],
+  "sync": {"messages": 10, "transit": "25µs"},
+  "matrix": {
+    "name": "quorum-test",
+    "scenarios": [
+      {"name": "baseline"},
+      {"name": "two-down", "faults": [
+        "c2 c2crash (c2:INIT) once",
+        "c3 c3crash (c3:INIT) once"
+      ]},
+      {"name": "quorum-flash", "faults": ["c1 flash (leader:QUORUM_PH) once"]}
+    ],
+    "latencies": [{"name": "lan", "local": "20µs", "remote": "150µs"}],
+    "seeds": [1],
+    "study": {
+      "name": "",
+      "app": "quorum",
+      "nodes": [
+        {"name": "leader", "host": "h1"},
+        {"name": "c1", "host": "h2"},
+        {"name": "c2", "host": "h3"},
+        {"name": "c3", "host": "h4"}
+      ],
+      "experiments": 3,
+      "runfor": "90ms",
+      "timeout": "10s"
+    }
+  }
+}`
+
+// signMeasure is the declarative quorum coverage measure: 1 when the
+// leader entered SIGNED during the experiment, else 0.
+func signMeasure(t *testing.T) *loki.StudyMeasure {
+	t.Helper()
+	pred, err := loki.ParsePredicate("(leader, SIGNED)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := loki.ParseObservation("count(U, B, START_EXP, END_EXP)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := loki.ParseSelector("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := loki.NewStudyMeasure("sign-coverage", loki.Triple{Select: sel, Pred: pred, Obs: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func runMatrix(t *testing.T) *loki.MatrixOutcome {
+	t.Helper()
+	cfg, err := loki.ParseCampaignFile([]byte(matrixDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := loki.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Matrix
+}
+
+func fingerprint(out *loki.MatrixOutcome) string {
+	fp := ""
+	for _, pr := range out.Points {
+		fp += pr.Point.Name() + ":"
+		for _, rec := range pr.Study.Records {
+			if rec != nil && rec.Accepted {
+				fp += fmt.Sprintf("%d,", rec.Index)
+			}
+		}
+		fp += ";"
+	}
+	return fp
+}
+
+// TestQuorumMatrix runs the chaos matrix through the campaign-file path —
+// the "app": "quorum" field resolving through the public registry — and
+// checks the protocol verdicts and the accept/reject split.
+func TestQuorumMatrix(t *testing.T) {
+	out := runMatrix(t)
+	m := signMeasure(t)
+
+	accepted, total := out.AcceptedTotal()
+	if accepted == 0 || accepted == total {
+		t.Fatalf("accepted %d/%d: want a nontrivial accepted/rejected split", accepted, total)
+	}
+
+	for _, pr := range out.Points {
+		globals := pr.Study.AcceptedGlobals()
+		signed := 0
+		for _, v := range m.ApplyAll(globals) {
+			if v > 0 {
+				signed++
+			}
+		}
+		switch pr.Point.Scenario.Name {
+		case "baseline":
+			if len(globals) == 0 {
+				t.Errorf("%s: no accepted experiments", pr.Point.Name())
+			}
+			if signed != len(globals) {
+				t.Errorf("%s: liveness: %d/%d accepted rounds signed", pr.Point.Name(), signed, len(globals))
+			}
+		case "two-down":
+			if signed != 0 {
+				t.Errorf("%s: safety: %d below-threshold rounds signed", pr.Point.Name(), signed)
+			}
+		case "quorum-flash":
+			// The injection chases a microsecond-lived remote state, so
+			// verification must fail and analysis must reject.
+			if len(globals) != 0 {
+				t.Errorf("%s: %d unverifiable injections accepted", pr.Point.Name(), len(globals))
+			}
+		}
+	}
+
+	if fp, again := fingerprint(out), fingerprint(runMatrix(t)); fp != again {
+		t.Errorf("same seeds, different accepted sets:\n  %s\n  %s", fp, again)
+	}
+}
+
+// TestQuorumOverUDP runs the same application over UDP loopback sockets:
+// the SPI's RegisterMessage hook is what lets the quorum payloads cross
+// the gob envelope.
+func TestQuorumOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket transport in -short mode")
+	}
+	udp := &loki.CampaignFile{
+		Name: "quorum-udp-test",
+		Seed: 1,
+		Studies: []loki.StudyFile{{
+			Name:      "udp-round",
+			App:       "quorum",
+			Transport: "udp",
+			Nodes: []loki.NodeFile{
+				{Name: "leader", Host: "h1"},
+				{Name: "c1", Host: "h2"},
+				{Name: "c2", Host: "h3"},
+				{Name: "c3", Host: "h4"},
+			},
+			Faults:      []string{"c3 c3crash (c3:COMMIT) once"},
+			Experiments: 2,
+		}},
+	}
+	s, err := loki.Open(udp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Campaign.Studies[0]
+	if len(sr.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(sr.Records))
+	}
+	globals := sr.AcceptedGlobals()
+	if len(globals) == 0 {
+		t.Fatal("no accepted experiments over UDP")
+	}
+	m := signMeasure(t)
+	signed := 0
+	for _, v := range m.ApplyAll(globals) {
+		if v > 0 {
+			signed++
+		}
+	}
+	if signed == 0 {
+		t.Errorf("no signed rounds over UDP (accepted %d)", len(globals))
+	}
+}

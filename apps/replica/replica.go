@@ -4,28 +4,30 @@
 //
 // One primary applies updates and replicates them to backups; backups
 // promote in priority order when the primary falls silent. The replica's
-// value lives in a probe.MemoryRegion, so memory faults (bit flips) can be
+// value lives in an app.MemoryRegion, so memory faults (bit flips) can be
 // injected; a replica that detects corruption fails stop through the ERROR
 // event — giving campaigns a non-crash error path to measure detection
 // latency and coverage on.
+//
+// The package is written against the public SPI (repro/app) only and
+// registers itself as "replica".
 package replica
 
 import (
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"time"
 
-	"repro/internal/clock"
-	"repro/internal/core"
-	"repro/internal/probe"
-	"repro/internal/spec"
+	"repro/app"
 )
 
 func init() {
 	// Bus messages must survive a socket transport's gob envelope.
-	gob.Register(updateMsg{})
-	gob.Register(syncReqMsg{})
+	app.RegisterMessage(updateMsg{}, syncReqMsg{})
+	app.MustRegister("replica", func(p app.Params) (*app.Instrumented, *app.StateMachine) {
+		in := New(Config{Peers: p.Peers, RunFor: p.RunFor})
+		return in, SpecFor(p.Nick, p.Peers)
+	})
 }
 
 // Events of the replica state machine.
@@ -50,7 +52,7 @@ const (
 
 // SpecFor builds the replica state machine specification for one node,
 // notifying all peers on externally observable states.
-func SpecFor(self string, peers []string) *spec.StateMachine {
+func SpecFor(self string, peers []string) *app.StateMachine {
 	notify := ""
 	for _, p := range peers {
 		if p != self {
@@ -103,11 +105,7 @@ state RESTART_SM notify%[1]s
 state CRASH notify%[1]s
 state EXIT notify%[1]s
 `, notify)
-	m, err := spec.ParseStateMachine(doc)
-	if err != nil {
-		panic("replica: internal spec error: " + err.Error())
-	}
-	return m
+	return app.MustParseSpec(doc)
 }
 
 // Config parameterizes one replica.
@@ -125,9 +123,9 @@ type Config struct {
 	// staggers takeovers (default 6x TickEvery).
 	PrimaryTimeout time.Duration
 	// Region, if set, is the memory region holding the replica's value —
-	// register a probe.MemoryFault against it to inject bit flips. When
+	// register an app.MemoryFault against it to inject bit flips. When
 	// nil a private region is used.
-	Region *probe.MemoryRegion
+	Region *app.MemoryRegion
 }
 
 func (c *Config) setDefaults() {
@@ -138,7 +136,7 @@ func (c *Config) setDefaults() {
 		c.PrimaryTimeout = 6 * c.TickEvery
 	}
 	if c.Region == nil {
-		c.Region = probe.NewMemoryRegion(make([]byte, 8))
+		c.Region = app.NewMemoryRegion(make([]byte, 8))
 	}
 }
 
@@ -152,23 +150,23 @@ type syncReqMsg struct{}
 
 type proc struct {
 	cfg     Config
-	h       *core.Handle
-	clk     clock.Clock
+	h       *app.Handle
+	clk     app.Clock
 	applied uint64 // last applied sequence/value (counter semantics: seq == value)
 }
 
 // New builds the instrumented replica application. Crash and memory fault
 // actions are registered by the caller on the returned Instrumented.
-func New(cfg Config) *probe.Instrumented {
+func New(cfg Config) *app.Instrumented {
 	cfg.setDefaults()
-	return probe.NewInstrumented(func(h *core.Handle) {
+	return app.New(func(h *app.Handle) {
 		p := &proc{cfg: cfg, h: h, clk: h.Clock()}
 		p.run()
 	})
 }
 
 // Value returns the region's counter interpretation.
-func regionValue(r *probe.MemoryRegion) uint64 {
+func regionValue(r *app.MemoryRegion) uint64 {
 	return binary.BigEndian.Uint64(r.Snapshot())
 }
 
@@ -311,15 +309,15 @@ func (p *proc) backupLoop(deadline time.Time) {
 	}
 }
 
-func (p *proc) tryMessage() (core.AppMessage, bool) {
+func (p *proc) tryMessage() (app.Message, bool) {
 	select {
 	case m := <-p.h.Inbox():
 		return m, true
 	default:
-		return core.AppMessage{}, false
+		return app.Message{}, false
 	}
 }
 
 // Applied reports a replica's last applied value from its region — a test
 // convenience for checking replication progress.
-func Applied(region *probe.MemoryRegion) uint64 { return regionValue(region) }
+func Applied(region *app.MemoryRegion) uint64 { return regionValue(region) }

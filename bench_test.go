@@ -10,7 +10,7 @@ import (
 	"time"
 
 	loki "repro"
-	"repro/internal/apps/election"
+	"repro/apps/election"
 	"repro/internal/clocksync"
 	"repro/internal/designsim"
 	"repro/internal/faultexpr"

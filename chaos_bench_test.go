@@ -13,7 +13,7 @@ import (
 	"time"
 
 	loki "repro"
-	"repro/internal/apps/election"
+	"repro/apps/election"
 )
 
 // chaosMatrix builds a partition-heavy election matrix: every machine

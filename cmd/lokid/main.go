@@ -7,7 +7,7 @@
 // Single-process usage (the whole testbed on the in-memory bus):
 //
 //	lokid -config campaign.json -out DIR
-//	lokid -nodes nodes.txt [-faults faults.txt] [-app election|replica]
+//	lokid -nodes nodes.txt [-faults faults.txt] [-app election|replica|quorum]
 //	      [-runfor 150ms] [-dormancy 10ms] [-seed 1] -out DIR
 //
 // Multi-process usage: one lokid per OS process, each hosting a subset of
@@ -76,7 +76,7 @@ func main() {
 		configPath = flag.String("config", "", "campaign file (JSON); replaces the node/fault flags")
 		nodesPath  = flag.String("nodes", "", "node file (flag form)")
 		faultsPath = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always> [action]' per line")
-		app        = flag.String("app", "election", "built-in application: election or replica")
+		app        = flag.String("app", "election", "registered application: election, replica, or quorum")
 		runFor     = flag.Duration("runfor", 150*time.Millisecond, "application run time")
 		dormancy   = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy")
 		seed       = flag.Int64("seed", 1, "random seed")

@@ -14,7 +14,7 @@
 // The thesis-era flag form assembles the same campaign description from
 // the classic files and remains supported:
 //
-//	lokirun -nodes nodes.txt [-faults faults.txt] [-app election|replica]
+//	lokirun -nodes nodes.txt [-faults faults.txt] [-app election|replica|quorum]
 //	        [-scenarios chaos.txt -scenario NAME]
 //	        [-experiments N] [-runfor 150ms] [-dormancy 10ms] [-restart]
 //	        [-seed 1] [-workers N] [-transport inproc|udp|tcp]
@@ -46,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"sync"
@@ -68,7 +69,7 @@ func main() {
 		faultsPath   = flag.String("faults", "", "fault file: '<machine> <name> <expr> <once|always> [action]' per line")
 		scenarioFile = flag.String("scenarios", "", "chaos scenario spec file ('scenario <name> ... end' blocks)")
 		scenarioName = flag.String("scenario", "", "named chaos scenario to overlay (requires -scenarios)")
-		app          = flag.String("app", "election", "built-in application: election or replica")
+		app          = flag.String("app", "election", "registered application: election, replica, or quorum")
 		experiments  = flag.Int("experiments", 3, "experiments to run")
 		runFor       = flag.Duration("runfor", 150*time.Millisecond, "application run time per experiment")
 		dormancy     = flag.Duration("dormancy", 10*time.Millisecond, "fault-to-crash dormancy (0 = immediate crash)")
@@ -206,6 +207,7 @@ func main() {
 		log.Fatal(err)
 	}
 	printResult(res)
+	printMeasures(cfg, res)
 	if *outDir != "" {
 		fmt.Printf("artifacts written under %s\n", *outDir)
 	}
@@ -284,6 +286,70 @@ func printResult(res *loki.SessionResult) {
 		}
 		accepted, total := res.Matrix.AcceptedTotal()
 		fmt.Printf("accepted %d/%d experiments\n", accepted, total)
+	}
+}
+
+// printMeasures evaluates the campaign file's declarative measures over
+// the run's accepted experiments and prints the §4.4 simple-sampling
+// estimate per measure — pooled across studies (or matrix points), with a
+// per-group breakdown when there is more than one group. Estimation is
+// pure post-processing over the accepted global timelines, so a campaign
+// without measures costs nothing here.
+func printMeasures(cfg *loki.CampaignFile, res *loki.SessionResult) {
+	measures, err := loki.CampaignFileMeasures(cfg)
+	if err != nil || len(measures) == 0 {
+		// Validate vetted the measure syntax before the run; an error here
+		// means there is simply nothing printable.
+		return
+	}
+	type group struct {
+		name   string
+		values []float64
+	}
+	var groups []group
+	if res.Campaign != nil {
+		for _, sr := range res.Campaign.Studies {
+			groups = append(groups, group{"study " + sr.Name, nil})
+		}
+	}
+	if res.Matrix != nil {
+		for _, pr := range res.Matrix.Points {
+			if pr == nil || pr.Study == nil {
+				continue
+			}
+			groups = append(groups, group{"point " + pr.Point.Name(), nil})
+		}
+	}
+	for _, m := range measures {
+		i := 0
+		if res.Campaign != nil {
+			for _, sr := range res.Campaign.Studies {
+				groups[i].values = m.ApplyAll(sr.AcceptedGlobals())
+				i++
+			}
+		}
+		if res.Matrix != nil {
+			for _, pr := range res.Matrix.Points {
+				if pr == nil || pr.Study == nil {
+					continue
+				}
+				groups[i].values = m.ApplyAll(pr.Study.AcceptedGlobals())
+				i++
+			}
+		}
+		samples := make([][]float64, len(groups))
+		for j, g := range groups {
+			samples[j] = g.values
+		}
+		est := loki.SimpleSampling(samples...)
+		fmt.Printf("measure %s: n=%d mean=%.6g stddev=%.6g\n",
+			m.Name, est.Moments.N, est.Mean(), math.Sqrt(est.Moments.Mu2))
+		if len(groups) > 1 {
+			for _, g := range groups {
+				gm := loki.ComputeMoments(g.values)
+				fmt.Printf("  %-40s n=%-3d mean=%.6g\n", g.name, gm.N, gm.M1)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,193 @@
+// Command quorum runs the collective-signing application (apps/quorum)
+// under a chaos matrix, driven by the declarative campaign file checked in
+// next to it. Four participants — one leader, three cosigners, quorum
+// threshold 3 — attempt one signing round per experiment while the matrix
+// sweeps {scenarios × latency profiles × seeds}:
+//
+//   - baseline: no faults, the control group — every round must sign
+//   - cosigner-crash: c3 crashes while it sits in COMMIT (its share is
+//     usually already sent, so the round still signs)
+//   - two-down: c2 and c3 crash in INIT, before committing — only two
+//     shares remain, below threshold, so the leader must abort
+//   - leader-crash: the leader crashes mid-ANNOUNCE_PH; the committed
+//     cosigners time out and abort
+//   - slow-commits: commit messages toward the leader's host are delayed,
+//     racing the leader's commit window
+//   - quorum-flash: cosigner c1 crashes when it learns the leader entered
+//     QUORUM_PH — a state the leader leaves again within microseconds.
+//     The notification cannot outrun the state, so the injection can never
+//     be verified as in-state and analysis must reject every experiment:
+//     the negative control proving rejection is real, not vacuous
+//
+// The program checks the protocol's two sides over the accepted
+// experiments: liveness (baseline rounds all sign) and safety (no
+// below-threshold round ever signs — the two-down scenario must never
+// reach SIGNED on the leader). It then re-runs the matrix with identical
+// seeds to demonstrate the accepted sets are deterministic, and finishes
+// with the same application over UDP loopback sockets — the public-SPI
+// registration covers the gob envelope, so nothing changes but the
+// "transport" field.
+//
+// The same file drives the command-line pipeline (which also prints the
+// declarative measure estimates below):
+//
+//	lokirun -config examples/quorum/campaign.json
+package main
+
+import (
+	"context"
+	_ "embed"
+	"fmt"
+	"log"
+	"os"
+
+	loki "repro"
+)
+
+//go:embed campaign.json
+var campaignJSON []byte
+
+func runMatrix(opts ...loki.Option) *loki.MatrixOutcome {
+	cfg, err := loki.ParseCampaignFile(campaignJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := loki.Open(cfg, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Matrix
+}
+
+// signedCount evaluates the sign-coverage measure over globals: how many
+// experiments saw the leader reach SIGNED.
+func signedCount(m *loki.StudyMeasure, globals []*loki.GlobalTimeline) int {
+	n := 0
+	for _, v := range m.ApplyAll(globals) {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// acceptedSets renders each point's accepted experiment indexes, the
+// determinism fingerprint.
+func acceptedSets(out *loki.MatrixOutcome) map[string]string {
+	sets := make(map[string]string, len(out.Points))
+	for _, pr := range out.Points {
+		s := ""
+		for _, rec := range pr.Study.Records {
+			if rec != nil && rec.Accepted {
+				s += fmt.Sprintf("%d,", rec.Index)
+			}
+		}
+		sets[pr.Point.Name()] = s
+	}
+	return sets
+}
+
+func main() {
+	cfg, err := loki.ParseCampaignFile(campaignJSON)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measures, err := loki.CampaignFileMeasures(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	signCoverage := measures[0]
+
+	out := runMatrix(loki.WithVirtualTime())
+
+	fmt.Printf("matrix %s: %d points\n", out.Name, len(out.Points))
+	fmt.Printf("%-32s %-10s %s\n", "point", "accepted", "signed")
+	bad := 0
+	for _, pr := range out.Points {
+		globals := pr.Study.AcceptedGlobals()
+		signed := signedCount(signCoverage, globals)
+		fmt.Printf("%-32s %d/%-8d %d/%d\n",
+			pr.Point.Name(), len(globals), len(pr.Study.Records), signed, len(globals))
+		switch pr.Point.Scenario.Name {
+		case "baseline":
+			// Liveness: with no faults, every accepted round signs.
+			if signed != len(globals) {
+				fmt.Printf("LIVENESS VIOLATION at %s: %d/%d signed\n", pr.Point.Name(), signed, len(globals))
+				bad++
+			}
+		case "two-down":
+			// Safety: two shares are below threshold 3; signing would mean
+			// the leader finalized without a quorum.
+			if signed != 0 {
+				fmt.Printf("SAFETY VIOLATION at %s: %d below-threshold rounds signed\n", pr.Point.Name(), signed)
+				bad++
+			}
+		case "quorum-flash":
+			// The injection trigger chases a microsecond state across the
+			// network; verification must fail, rejecting the experiment.
+			if len(globals) != 0 {
+				fmt.Printf("VERIFICATION LEAK at %s: %d unverifiable injections accepted\n", pr.Point.Name(), len(globals))
+				bad++
+			}
+		}
+	}
+	accepted, total := out.AcceptedTotal()
+	fmt.Printf("accepted %d/%d experiments\n", accepted, total)
+	fmt.Printf("liveness and safety checks: %s\n\n", map[bool]string{true: "ok", false: "VIOLATED"}[bad == 0])
+
+	// Determinism: the same campaign file with the same seeds must accept
+	// the same experiment sets.
+	first, again := acceptedSets(out), acceptedSets(runMatrix(loki.WithVirtualTime()))
+	identical := len(first) == len(again)
+	for name, set := range first {
+		if again[name] != set {
+			identical = false
+			fmt.Printf("DIVERGED at %s: %q vs %q\n", name, set, again[name])
+		}
+	}
+	fmt.Printf("same seeds => identical accepted sets: %v\n\n", identical)
+
+	// The same application over UDP loopback: the campaign file's matrix
+	// template becomes a plain study with a socket transport. The app
+	// registry and the gob message registration are the only plumbing the
+	// application brought along, and both came from the public SPI.
+	udp := &loki.CampaignFile{
+		Name:  "quorum-udp",
+		Seed:  1,
+		Hosts: cfg.Hosts,
+		Sync:  cfg.Sync,
+		Studies: []loki.StudyFile{{
+			Name:        "udp-round",
+			App:         "quorum",
+			Transport:   "udp",
+			Nodes:       cfg.Matrix.Study.Nodes,
+			Faults:      []string{"c3 c3crash (c3:COMMIT) once"},
+			Experiments: 2,
+			RunFor:      cfg.Matrix.Study.RunFor,
+			Timeout:     cfg.Matrix.Study.Timeout,
+		}},
+	}
+	s, err := loki.Open(udp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sr := range res.Campaign.Studies {
+		globals := sr.AcceptedGlobals()
+		fmt.Printf("udp study %s: %d experiments, %d accepted, %d signed\n",
+			sr.Name, len(sr.Records), len(globals), signedCount(signCoverage, globals))
+	}
+
+	if bad > 0 || !identical {
+		os.Exit(1)
+	}
+}

@@ -13,7 +13,7 @@ import (
 	"time"
 
 	loki "repro"
-	"repro/internal/apps/replica"
+	"repro/apps/replica"
 	"repro/internal/faultexpr"
 	"repro/internal/measure"
 	"repro/internal/observation"

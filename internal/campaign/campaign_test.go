@@ -4,8 +4,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/apps/election"
 	"repro/internal/analysis"
-	"repro/internal/apps/election"
 	"repro/internal/core"
 	"repro/internal/faultexpr"
 	"repro/internal/measure"

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/apps/election"
+	"repro/apps/election"
 	"repro/internal/core"
 	"repro/internal/spec"
 	"repro/internal/transport"

@@ -5,8 +5,7 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/apps/election"
-	"repro/internal/apps/replica"
+	"repro/app"
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/faultexpr"
@@ -16,35 +15,28 @@ import (
 	"repro/internal/probe"
 	"repro/internal/spec"
 	"repro/internal/vclock"
+
+	// The built-in application zoo registers itself with the app registry
+	// at init time; blank-importing it here keeps every config.Build entry
+	// point (lokirun, lokid, examples, tests) able to resolve the built-in
+	// names without its own imports. User applications add themselves the
+	// same way: register in an init and link the package into the binary.
+	_ "repro/apps/election"
+	_ "repro/apps/quorum"
+	_ "repro/apps/replica"
 )
 
-// appBuilder constructs one machine of a built-in test application: its
-// instrumented body and its state machine specification. seed drives the
-// application's randomness and differs per machine.
-type appBuilder func(nick string, peers []string, runFor time.Duration, seed int64) (*probe.Instrumented, *spec.StateMachine)
-
-// appBuilders is the registry the schema's "app" field selects from.
-var appBuilders = map[string]appBuilder{
-	"election": func(nick string, peers []string, runFor time.Duration, seed int64) (*probe.Instrumented, *spec.StateMachine) {
-		in := election.New(election.Config{Peers: peers, RunFor: runFor, Seed: seed})
-		return in, election.SpecFor(nick, peers)
-	},
-	"replica": func(nick string, peers []string, runFor time.Duration, seed int64) (*probe.Instrumented, *spec.StateMachine) {
-		in := replica.New(replica.Config{Peers: peers, RunFor: runFor})
-		return in, replica.SpecFor(nick, peers)
-	},
-}
-
 // appName normalizes the schema's app field ("" means election).
-func appName(app string) string {
-	if app == "" {
+func appName(name string) string {
+	if name == "" {
 		return "election"
 	}
-	return app
+	return name
 }
 
-// appNames lists the registered applications, sorted for stable errors.
-func appNames() []string { return []string{"election", "replica"} }
+// appNames lists the registered applications, sorted for stable errors —
+// derived from the registry, so user registrations show up in diagnostics.
+func appNames() []string { return app.Names() }
 
 // Build materializes a validated campaign file into the engine types: the
 // campaign itself and, when the file declares one, the scenario matrix.
@@ -205,12 +197,19 @@ func buildStudy(c *Campaign, s *Study, seed int64, scenario []campaign.ScenarioF
 	if err != nil {
 		return nil, err
 	}
-	build := appBuilders[appName(s.App)]
+	build, ok := app.Lookup(appName(s.App))
+	if !ok {
+		// Validate catches this for file-loaded campaigns; the guard keeps
+		// matrix point builders safe if a caller skips validation.
+		return nil, fmt.Errorf("config: study %q: unknown app %q", s.Name, appName(s.App))
+	}
 	dormancy := s.Dormancy.Std()
 
 	var defs []core.NodeDef
 	for i, nick := range peers {
-		in, sm := build(nick, peers, runFor, seed+int64(i)*17)
+		// The per-machine seed stride predates the registry; it is part of
+		// the journal-fingerprint contract (parity-tested), so it stays.
+		in, sm := build(app.Params{Nick: nick, Peers: peers, RunFor: runFor, Seed: seed + int64(i)*17})
 		registerCrashProbes(scenario, nick, in, dormancy, seed)
 		defs = append(defs, core.NodeDef{
 			Nickname: nick,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/app"
 	"repro/internal/campaign"
 	"repro/internal/measure"
 	"repro/internal/observation"
@@ -181,7 +182,7 @@ func validateStudy(c *Campaign, s *Study, hostNames map[string]bool) error {
 	if s.Name == "" {
 		what = "matrix study template"
 	}
-	if _, ok := appBuilders[appName(s.App)]; !ok {
+	if _, ok := app.Lookup(appName(s.App)); !ok {
 		return fmt.Errorf("config: %s: unknown app %q (want %s)", what, s.App, strings.Join(appNames(), " or "))
 	}
 	if len(s.Nodes) == 0 {

@@ -14,7 +14,7 @@ import (
 	"time"
 
 	loki "repro"
-	"repro/internal/apps/election"
+	"repro/apps/election"
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/obs"

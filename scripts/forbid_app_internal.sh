@@ -1,0 +1,41 @@
+#!/bin/sh
+# Guardrail: applications and examples stay on the public SPI. The whole
+# point of the repro/app package is that an application under study needs
+# no internal/ imports — the node handle, the spec builder, the probe
+# fault actions, the message-registration hook, and the registry are all
+# public. If a zoo member or an example quietly reached into
+# internal/probe, internal/spec, or internal/core, user applications
+# copying it would break the moment internal/ churns, and the SPI's
+# compatibility promise would be fiction.
+#
+# Scope:
+#   - apps/      non-test sources: the zoo is the exemplar user code, so
+#                it must compile against repro/app alone. Test files may
+#                use the internal runtime harness (they exercise fault
+#                injection and timeline plumbing beyond the SPI surface,
+#                as any white-box test may).
+#   - examples/  all sources: examples are user-facing documentation and
+#                must never demonstrate an internal/probe, internal/spec,
+#                or internal/core import. Other internal packages (e.g.
+#                internal/measure's custom observation callbacks in the
+#                chaos example) remain legal until their surfaces are
+#                lifted too.
+#
+# Run from the repository root: scripts/forbid_app_internal.sh
+set -eu
+
+pattern='"repro/internal/(probe|spec|core)"'
+
+matches=$(
+  {
+    grep -rnE --include='*.go' "$pattern" apps/ | grep -v '_test\.go:' || true
+    grep -rnE --include='*.go' "$pattern" examples/ || true
+  }
+)
+
+if [ -n "$matches" ]; then
+  echo "internal probe/spec/core imports outside the SPI (use repro/app):" >&2
+  echo "$matches" >&2
+  exit 1
+fi
+echo "forbid_app_internal: clean"

@@ -51,6 +51,15 @@ type Session struct {
 // checkpointing, cluster topology, and measures.
 type CampaignFile = config.Campaign
 
+// StudyFile is one study block of a campaign file, exported so drivers
+// can assemble campaign descriptions in code as well as load them from
+// JSON (the engine-level Study alias is the built result, not the
+// description).
+type StudyFile = config.Study
+
+// NodeFile is one node entry of a campaign-file study.
+type NodeFile = config.Node
+
 // LoadCampaignFile loads and validates a campaign file from disk.
 func LoadCampaignFile(path string) (*CampaignFile, error) { return config.LoadFile(path) }
 

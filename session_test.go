@@ -11,7 +11,7 @@ import (
 	"time"
 
 	loki "repro"
-	"repro/internal/apps/election"
+	"repro/apps/election"
 )
 
 // parityConfigDoc builds the campaign-file side of the parity test: an

@@ -153,7 +153,10 @@ func (r *Runtime) handleTransportMessage(m transport.Message) {
 		// route(): remoteNotify runs the fault parser and possibly a
 		// blocking application InjectFault callback, which must not
 		// stall the transport's read loop (sync pings and every other
-		// inbound frame ride on it).
+		// inbound frame ride on it). Untracked by design: socket
+		// transports only run in cluster mode, which Open rejects under
+		// virtual time, so quiescence tracking never sees this path.
+		//lint:allow untrackedgo socket-only path, never runs under clock.Virtual
 		go target.remoteNotify(stateNote{From: m.From, State: m.State})
 	case transport.KindApp:
 		r.mu.Lock()

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// appForbidden are the runtime packages applications must never touch:
+// everything an app needs from them is re-exported (as type aliases and
+// wrappers) by the public repro/app SPI, and the SPI's compatibility
+// promise is fiction the moment zoo or example code reaches past it.
+var appForbidden = []string{
+	"repro/internal/probe",
+	"repro/internal/spec",
+	"repro/internal/core",
+}
+
+// AppImports keeps apps/ and examples/ on the public SPI. It reports
+//
+//  1. any import of internal/probe, internal/spec, or internal/core —
+//     aliased, dot, or blank, all resolved through the import path, not
+//     the spelling the old grep matched on; and
+//  2. transitive escape hatches: a declaration in app code whose type
+//     involves an internal named type the repro/app surface does not
+//     re-export. That catches values smuggled out through re-exported
+//     functions (sm.Something() returning an internal type) that no
+//     import-based check can see.
+//
+// The sanctioned type set is harvested from repro/app itself wherever it
+// appears in the package's import graph: exactly the internal types the
+// SPI aliases or names in its exported signatures. apps/ test files are
+// exempt (white-box tests may use the internal runtime harness), which
+// falls out of the suite analyzing non-test files only.
+var AppImports = &Analyzer{
+	Name: "appimports",
+	Doc: "keep apps/ and examples/ on the public repro/app SPI: no internal/probe, " +
+		"internal/spec, or internal/core imports, and no internal types beyond the re-exported surface",
+	Run: runAppImports,
+}
+
+func runAppImports(pass *Pass) error {
+	if !pathWithin(pass.Path, "repro/apps") && !pathWithin(pass.Path, "repro/examples") &&
+		!pathWithin(pass.Path, "repro/app") {
+		return nil
+	}
+	if pathWithin(pass.Path, "repro/app") {
+		// The SPI implementation itself is the one sanctioned bridge.
+		return nil
+	}
+
+	// 1. Direct imports, however spelled.
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			for _, forbidden := range appForbidden {
+				if pathWithin(path, forbidden) {
+					pass.ReportWithFix(imp.Pos(),
+						"use the repro/app SPI surface instead; it re-exports the handle, spec builder, and probe actions",
+						"application code imports %s: the zoo and examples must compile against repro/app alone", path)
+				}
+			}
+		}
+	}
+
+	// 2. Escape hatches: declared values whose types involve internal
+	// named types outside the sanctioned SPI surface.
+	sanctioned := sanctionedSPITypes(pass.Types)
+	seenDecl := map[*ast.Ident]bool{}
+	for id, obj := range pass.Info.Defs {
+		if obj == nil || seenDecl[id] {
+			continue
+		}
+		v, isVar := obj.(*types.Var)
+		fn, isFunc := obj.(*types.Func)
+		var typ types.Type
+		switch {
+		case isVar && !v.IsField():
+			typ = v.Type()
+		case isFunc:
+			typ = fn.Type()
+		default:
+			continue
+		}
+		if bad := forbiddenComponent(typ, sanctioned); bad != nil {
+			seenDecl[id] = true
+			pass.ReportWithFix(id.Pos(),
+				"keep to values of repro/app's re-exported types; if the SPI is missing a surface, lift it in repro/app rather than reaching around it",
+				"%s's type involves %s.%s, an internal type the public SPI does not re-export",
+				obj.Name(), bad.Pkg().Path(), bad.Name())
+		}
+	}
+	return nil
+}
+
+// sanctionedSurfaces are the two public packages allowed to re-export
+// internal types: the app SPI (repro/app: handle, spec builder, probe
+// actions) and the root campaign-driving API (repro: NodeDef, FaultSpec,
+// studies). Internal types those surfaces name in exported aliases and
+// signatures are the blessed crossings; anything else from a forbidden
+// package is an escape hatch.
+var sanctionedSurfaces = []string{"repro/app", "repro"}
+
+// sanctionedSPITypes walks the package's import graph to the sanctioned
+// public surfaces and collects every internal named type their exported
+// declarations mention.
+func sanctionedSPITypes(pkg *types.Package) map[*types.TypeName]bool {
+	sanctioned := map[*types.TypeName]bool{}
+	seen := map[*types.Package]bool{}
+	for _, path := range sanctionedSurfaces {
+		surface := findImport(pkg, path, seen)
+		if surface == nil {
+			continue
+		}
+		scope := surface.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			collectForbiddenNames(obj.Type(), sanctioned, map[types.Type]bool{})
+		}
+	}
+	return sanctioned
+}
+
+func findImport(pkg *types.Package, path string, seen map[*types.Package]bool) *types.Package {
+	for k := range seen {
+		delete(seen, k)
+	}
+	var walk func(*types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+func fromForbiddenPkg(tn *types.TypeName) bool {
+	if tn.Pkg() == nil {
+		return false
+	}
+	for _, forbidden := range appForbidden {
+		if pathWithin(tn.Pkg().Path(), forbidden) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectForbiddenNames records every internal named type reachable from
+// t's structure (not through named types' underlying — the surface is what
+// the SPI names, not what those types contain).
+func collectForbiddenNames(t types.Type, out map[*types.TypeName]bool, seen map[types.Type]bool) {
+	if t == nil || seen[t] {
+		return
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Alias:
+		if fromForbiddenPkg(t.Obj()) {
+			out[t.Obj()] = true
+		}
+		collectForbiddenNames(types.Unalias(t), out, seen)
+	case *types.Named:
+		if fromForbiddenPkg(t.Obj()) {
+			out[t.Obj()] = true
+		}
+		for i := 0; i < t.TypeArgs().Len(); i++ {
+			collectForbiddenNames(t.TypeArgs().At(i), out, seen)
+		}
+	case *types.Pointer:
+		collectForbiddenNames(t.Elem(), out, seen)
+	case *types.Slice:
+		collectForbiddenNames(t.Elem(), out, seen)
+	case *types.Array:
+		collectForbiddenNames(t.Elem(), out, seen)
+	case *types.Chan:
+		collectForbiddenNames(t.Elem(), out, seen)
+	case *types.Map:
+		collectForbiddenNames(t.Key(), out, seen)
+		collectForbiddenNames(t.Elem(), out, seen)
+	case *types.Signature:
+		if t.Params() != nil {
+			for i := 0; i < t.Params().Len(); i++ {
+				collectForbiddenNames(t.Params().At(i).Type(), out, seen)
+			}
+		}
+		if t.Results() != nil {
+			for i := 0; i < t.Results().Len(); i++ {
+				collectForbiddenNames(t.Results().At(i).Type(), out, seen)
+			}
+		}
+	}
+}
+
+// forbiddenComponent returns the first internal named type in t's
+// structure that is not on the sanctioned SPI surface, or nil.
+func forbiddenComponent(t types.Type, sanctioned map[*types.TypeName]bool) *types.TypeName {
+	return findForbidden(t, sanctioned, map[types.Type]bool{})
+}
+
+func findForbidden(t types.Type, sanctioned map[*types.TypeName]bool, seen map[types.Type]bool) *types.TypeName {
+	if t == nil || seen[t] {
+		return nil
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Alias:
+		if sanctioned[t.Obj()] {
+			return nil
+		}
+		if fromForbiddenPkg(t.Obj()) {
+			return t.Obj()
+		}
+		return findForbidden(types.Unalias(t), sanctioned, seen)
+	case *types.Named:
+		if sanctioned[t.Obj()] {
+			return nil
+		}
+		if fromForbiddenPkg(t.Obj()) {
+			return t.Obj()
+		}
+		for i := 0; i < t.TypeArgs().Len(); i++ {
+			if bad := findForbidden(t.TypeArgs().At(i), sanctioned, seen); bad != nil {
+				return bad
+			}
+		}
+	case *types.Pointer:
+		return findForbidden(t.Elem(), sanctioned, seen)
+	case *types.Slice:
+		return findForbidden(t.Elem(), sanctioned, seen)
+	case *types.Array:
+		return findForbidden(t.Elem(), sanctioned, seen)
+	case *types.Chan:
+		return findForbidden(t.Elem(), sanctioned, seen)
+	case *types.Map:
+		if bad := findForbidden(t.Key(), sanctioned, seen); bad != nil {
+			return bad
+		}
+		return findForbidden(t.Elem(), sanctioned, seen)
+	case *types.Signature:
+		if t.Params() != nil {
+			for i := 0; i < t.Params().Len(); i++ {
+				if bad := findForbidden(t.Params().At(i).Type(), sanctioned, seen); bad != nil {
+					return bad
+				}
+			}
+		}
+		if t.Results() != nil {
+			for i := 0; i < t.Results().Len(); i++ {
+				if bad := findForbidden(t.Results().At(i).Type(), sanctioned, seen); bad != nil {
+					return bad
+				}
+			}
+		}
+	}
+	return nil
+}

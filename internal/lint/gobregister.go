@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GobRegister checks that every concrete payload type an application sends
+// over the bus (Handle.Send / Handle.Broadcast) is announced to the gob
+// envelope via app.RegisterMessage (or gob.Register directly) somewhere in
+// the same package. An unregistered payload works fine in-process — the
+// inproc bus never serializes — and then fails at runtime the first time
+// the same campaign runs over UDP or TCP, when the cluster transport's gob
+// envelope meets a concrete type it has never heard of. That failure is
+// invisible to every inproc test, which is exactly why it is a lint.
+//
+// Interface-typed arguments are skipped (the concrete type is unknowable
+// statically), as are basic types; pointer payloads are resolved to their
+// element type, matching gob's own dereferencing.
+var GobRegister = &Analyzer{
+	Name: "gobregister",
+	Doc: "require app.RegisterMessage for every concrete payload type passed to Handle.Send/Broadcast; " +
+		"unregistered payloads only fail at runtime over socket transports",
+	Run: runGobRegister,
+}
+
+func runGobRegister(pass *Pass) error {
+	// Registration sites: app.RegisterMessage(x, y, ...) and gob.Register(x).
+	registered := map[string]bool{}
+	forEachCall(pass, func(call *ast.CallExpr, fn *types.Func) {
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return
+		}
+		isReg := (pkg.Path() == "repro/app" && fn.Name() == "RegisterMessage") ||
+			(pkg.Path() == "encoding/gob" && (fn.Name() == "Register" || fn.Name() == "RegisterName"))
+		if !isReg {
+			return
+		}
+		for _, arg := range call.Args {
+			if t := payloadType(pass, arg); t != nil {
+				registered[t.String()] = true
+			}
+		}
+	})
+
+	// Send sites: methods Send(to, payload) / Broadcast(payload) on the
+	// runtime handle (core.Handle, which app.Handle aliases).
+	forEachCall(pass, func(call *ast.CallExpr, fn *types.Func) {
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil || fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/core" {
+			return
+		}
+		var payloadArg int
+		switch fn.Name() {
+		case "Send":
+			payloadArg = 1
+		case "Broadcast":
+			payloadArg = 0
+		default:
+			return
+		}
+		if len(call.Args) <= payloadArg {
+			return
+		}
+		t := payloadType(pass, call.Args[payloadArg])
+		if t == nil || registered[t.String()] {
+			return
+		}
+		pass.ReportWithFix(call.Args[payloadArg].Pos(),
+			fmt.Sprintf("add app.RegisterMessage(%s{}) to this package's init so the payload survives the cluster transports' gob envelope", shortType(t)),
+			"payload type %s is sent on the bus but never passed to app.RegisterMessage: this works in-process and fails at runtime over UDP/TCP",
+			t.String())
+	})
+	return nil
+}
+
+// payloadType resolves an argument expression to the concrete named type
+// gob would need registered: pointers dereferenced, interfaces and basic
+// types excluded.
+func payloadType(pass *Pass, arg ast.Expr) *types.Named {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := types.Unalias(tv.Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || types.IsInterface(named) {
+		return nil
+	}
+	return named
+}
+
+func shortType(t *types.Named) string {
+	return t.Obj().Name()
+}
+
+// forEachCall walks every call expression in the package, invoking fn with
+// the resolved callee.
+func forEachCall(pass *Pass, visit func(*ast.CallExpr, *types.Func)) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass, call); fn != nil {
+				visit(call, fn)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runFixture is the analysistest harness: it loads the fixture package at
+// testdata/src/<importPath> under its pretend import path, runs one
+// analyzer, and checks the findings against `// want` comments:
+//
+//	time.Sleep(d) // want `regexp matching the finding`
+//
+// Every finding must match a want on its line; every want must be matched
+// by a finding. Multiple backquoted patterns on one line expect multiple
+// findings.
+func runFixture(t *testing.T, a *Analyzer, importPath string) {
+	t.Helper()
+	pkg, err := LoadFixture("testdata/src", importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", importPath, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, importPath, err)
+	}
+
+	wants := fixtureWants(t, filepath.Join("testdata", "src", filepath.FromSlash(importPath)))
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// runFixtureClean asserts the analyzer produces no findings on the fixture.
+func runFixtureClean(t *testing.T, a *Analyzer, importPath string) {
+	t.Helper()
+	pkg, err := LoadFixture("testdata/src", importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", importPath, err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, importPath, err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding on allowlisted fixture: %s", d)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)")
+var backquoted = regexp.MustCompile("`([^`]*)`")
+
+func fixtureWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, q := range backquoted.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), line, q[1], err)
+					}
+					wants = append(wants, want{file: e.Name(), line: line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", dir)
+	}
+	return wants
+}
+
+// TestDirectiveValidation: a malformed or unknown-analyzer //lint:allow is
+// itself a finding, so a typo cannot silently suppress nothing.
+func TestDirectiveValidation(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src", "repro/internal/badallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, fmt.Sprintf("%d:%s", d.Pos.Line, d.Message))
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "malformed directive") {
+		t.Errorf("missing malformed-directive finding in:\n%s", joined)
+	}
+	if !strings.Contains(joined, `unknown analyzer "wallklock"`) {
+		t.Errorf("missing unknown-analyzer finding in:\n%s", joined)
+	}
+	// The reasonless directive must not have suppressed the finding it sat on.
+	if !strings.Contains(joined, "time.Now escapes") {
+		t.Errorf("reasonless directive suppressed the wallclock finding:\n%s", joined)
+	}
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// mapOrderSensitive matches function names on byte-emitting determinism
+// paths: fingerprints, encoders, journal appenders, trace/chrome export,
+// digests. Inside these, map iteration order becomes output bytes, which
+// is the exact bug class that would quietly break byte-identical journals
+// and TestTraceMergeDeterministic: the run "succeeds" and the artifact
+// differs across executions.
+var mapOrderSensitive = regexp.MustCompile(`(?i)fingerprint|encode|marshal|journal|digest|checksum|hash|chrome`)
+
+// MapOrder reports ranging over a map inside a fingerprint/encode/journal/
+// trace-encode function when the loop body does real work (calls anything
+// beyond collection builtins). Collecting keys or values into a slice —
+// the sanctioned fix, followed by a sort — is recognized and not flagged:
+// a body consisting only of appends, deletes, and assignments is order-
+// insensitive as long as the collection is sorted before use.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "reject map iteration that emits bytes inside fingerprint/encode/journal/trace paths; " +
+		"collect the keys, sort them, then iterate — map order is random per run",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !sensitiveFunc(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if call := firstEffectfulCall(pass, rng.Body); call != nil {
+					pass.ReportWithFix(rng.Pos(),
+						"collect the keys into a slice, sort it, and range over the slice instead",
+						"map iteration order reaches %s inside %s: the emitted bytes differ across runs, breaking byte-identical artifacts",
+						describeCall(pass, call), fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sensitiveFunc reports whether the function is on a determinism path: its
+// own name matches, or it is a method on a type whose name does (the
+// journal type's append/load methods emit journal bytes even though the
+// method names alone look innocent).
+func sensitiveFunc(fd *ast.FuncDecl) bool {
+	if mapOrderSensitive.MatchString(fd.Name.Name) {
+		return true
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok {
+			t = ix.X
+		}
+		if id, ok := t.(*ast.Ident); ok && mapOrderSensitive.MatchString(id.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// mapOrderSafeBuiltins are collection operations whose effect is order-
+// insensitive once the collection is sorted downstream.
+var mapOrderSafeBuiltins = map[string]bool{
+	"append": true, "delete": true, "len": true, "cap": true,
+	"make": true, "copy": true, "min": true, "max": true,
+}
+
+// firstEffectfulCall returns the first call in body that could emit bytes:
+// anything that is not a safe collection builtin, a type conversion, or an
+// argument of one (append(s, f(k)) only builds a slice — whether that
+// slice is handled deterministically is decided where it is consumed).
+func firstEffectfulCall(pass *Pass, body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	var walk func(n ast.Node, collecting bool)
+	walk = func(n ast.Node, collecting bool) {
+		if n == nil || found != nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if safeCollectionCall(pass, call) {
+				for _, arg := range call.Args {
+					walk(arg, true)
+				}
+				return false
+			}
+			if isTypeConversion(pass, call) {
+				return true
+			}
+			if !collecting {
+				found = call
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return found
+}
+
+func safeCollectionCall(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && mapOrderSafeBuiltins[b.Name()]
+}
+
+func isTypeConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func describeCall(pass *Pass, call *ast.CallExpr) string {
+	switch e := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "a call"
+}

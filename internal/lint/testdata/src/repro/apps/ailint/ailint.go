@@ -1,0 +1,20 @@
+// Package ailint is the appimports analyzer fixture for direct-import
+// violations: zoo code reaching into the internal runtime, in every
+// spelling — plain, aliased, and dot-imports all resolve to the same
+// forbidden import paths.
+package ailint
+
+import (
+	"repro/internal/spec" // want `application code imports repro/internal/spec`
+
+	p "repro/internal/probe" // want `application code imports repro/internal/probe`
+
+	. "repro/internal/core" // want `application code imports repro/internal/core`
+)
+
+func use() {
+	_, _ = spec.ParseStateMachine("")
+	_ = p.NoteFault()
+	var h *Handle // want `h's type involves repro/internal/core.Handle`
+	_ = h
+}

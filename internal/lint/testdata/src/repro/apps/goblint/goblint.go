@@ -1,0 +1,29 @@
+// Package goblint is the gobregister analyzer fixture, registry-aware: it
+// imports the real repro/app, registers one payload through the real
+// RegisterMessage, and sends three concrete types — only the unregistered
+// ones are findings. In-process campaigns never serialize, so without the
+// lint this class of bug only surfaces at runtime over UDP/TCP.
+package goblint
+
+import "repro/app"
+
+type pingMsg struct{ Seq int }
+
+type pongMsg struct{ Seq int }
+
+type oneOffMsg struct{ N int }
+
+func init() {
+	app.RegisterMessage(pingMsg{})
+}
+
+func run(h *app.Handle) {
+	h.Broadcast(pingMsg{Seq: 1})
+	h.Broadcast(pongMsg{Seq: 2})     // want `payload type repro/apps/goblint.pongMsg is sent on the bus but never passed to app.RegisterMessage`
+	h.Send("peer", &oneOffMsg{N: 3}) // want `payload type repro/apps/goblint.oneOffMsg is sent on the bus but never passed to app.RegisterMessage`
+
+	// Basic types and already-interface values are out of static reach.
+	h.Send("peer", "plain strings are skipped")
+	var unknown interface{} = pingMsg{}
+	h.Broadcast(unknown)
+}

@@ -1,0 +1,22 @@
+// Package uglint is the untrackedgo analyzer fixture: bare go statements
+// in application code break clock.Virtual quiescence detection; spawns
+// must go through Handle.Go.
+package uglint
+
+import "repro/app"
+
+func run(h *app.Handle) {
+	go work() // want `bare go statement: the virtual clock cannot track this goroutine`
+
+	go func() { // want `bare go statement: the virtual clock cannot track this goroutine`
+		work()
+	}()
+
+	// Tracked: the runtime registers this goroutine with the scheduler.
+	h.Go(work)
+
+	//lint:allow untrackedgo fixture demonstrates the justified escape hatch
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,32 @@
+// Command ailint is the appimports fixture for transitive escape hatches:
+// it never imports internal/spec, yet smuggles an internal type out
+// through the public surface — sm.States exposes *spec.StateDef, which
+// repro/app does not re-export. An import-based check (the old grep) is
+// structurally blind to this.
+package main
+
+import "repro/app"
+
+const doc = `global_state_list: IDLE DONE
+event_list: tick
+state IDLE:
+	notify:
+	transitions:
+		tick -> DONE
+state DONE:
+	notify:
+	transitions:
+`
+
+var sm = app.MustParseSpec(doc)
+
+// Sanctioned: *app.StateMachine is the SPI's own re-export.
+var machine = sm
+
+// Escape hatch: map[string]*spec.StateDef leaves the SPI surface.
+var defs = sm.States // want `defs's type involves repro/internal/spec.StateDef`
+
+func main() {
+	_ = machine
+	_ = defs
+}

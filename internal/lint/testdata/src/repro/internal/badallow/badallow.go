@@ -1,0 +1,16 @@
+// Package badallow exercises directive validation: a //lint:allow without
+// a reason or with a typo'd analyzer name is itself a finding and
+// suppresses nothing.
+package badallow
+
+import "time"
+
+func reasonless() {
+	//lint:allow wallclock
+	_ = time.Now()
+}
+
+func typod() {
+	//lint:allow wallklock the analyzer name is misspelled
+	_ = time.Now()
+}

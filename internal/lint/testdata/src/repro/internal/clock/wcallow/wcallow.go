@@ -1,0 +1,14 @@
+// Package wcallow sits under internal/clock, the sanctioned wall-clock
+// boundary: the allowlist must keep the wallclock analyzer entirely out of
+// the clock abstraction's own implementation packages.
+package wcallow
+
+import "time"
+
+func realNow() time.Time { return time.Now() }
+
+func spin(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}

@@ -1,0 +1,74 @@
+// Package molint is the maporder analyzer fixture: map iteration order
+// reaching emitted bytes inside fingerprint/encode/journal paths, versus
+// the sanctioned collect-keys-sort-then-iterate shape.
+package molint
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+func encodeBad(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt.Fprintf inside encodeBad`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func fingerprintBad(h io.Writer, parts map[string]string) {
+	for k := range parts { // want `map iteration order reaches h.Write inside fingerprintBad`
+		h.Write([]byte(k))
+	}
+}
+
+func encodeGood(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// encodeCollect: calls inside a collection builtin's arguments only build
+// the slice; order sensitivity is decided where the slice is consumed.
+func encodeCollect(w io.Writer, m map[int]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, strconv.Itoa(k))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// sum is not on a determinism path: name and receiver both miss the
+// sensitive set, so commutative aggregation stays legal.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type journal struct{ out io.Writer }
+
+// append is innocent by name, but the journal receiver marks the whole
+// type as a byte-emitting determinism path.
+func (j *journal) append(meta map[string]string) {
+	for k, v := range meta { // want `map iteration order reaches Write inside append`
+		j.out.Write([]byte(k + "=" + v))
+	}
+}
+
+func encodeAllowed(w io.Writer, m map[string]int) {
+	//lint:allow maporder fixture demonstrates the justified escape hatch
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

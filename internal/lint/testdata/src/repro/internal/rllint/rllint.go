@@ -1,0 +1,31 @@
+// Package rllint is the rawlog analyzer fixture: raw stdout/stderr writes
+// from engine code, including the Fprint-to-os.Stdout and builtin-println
+// forms the old grep script missed, plus aliased imports.
+package rllint
+
+import (
+	"fmt"
+	"os"
+
+	l "log"
+)
+
+func bad() {
+	fmt.Println("boot")           // want `fmt.Println writes straight to stdout`
+	fmt.Printf("x=%d\n", 1)       // want `fmt.Printf writes straight to stdout`
+	l.Printf("x=%d", 1)           // want `log.Printf bypasses the structured leveled logger`
+	l.Fatalln("dead")             // want `log.Fatalln bypasses the structured leveled logger`
+	fmt.Fprintf(os.Stderr, "e\n") // want `fmt.Fprintf to os.Stderr is a raw write`
+	fmt.Fprintln(os.Stdout, "o")  // want `fmt.Fprintln to os.Stdout is a raw write`
+	println("raw")                // want `builtin println writes straight to stderr`
+}
+
+func fine(w *os.File) {
+	_ = fmt.Sprintf("formatting is fine")
+	fmt.Fprintln(w, "an arbitrary writer is fine")
+}
+
+func allowed() {
+	//lint:allow rawlog fixture demonstrates the justified escape hatch
+	fmt.Println("allowed")
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// untrackedGoScopes are the packages whose goroutines the virtual clock
+// must know about: application code (the public SPI, the zoo, the
+// examples) and the probe-reachable runtime (probe, core). Everything a
+// node body spawns must go through Handle.Go / Clock.Go, or the
+// discrete-event scheduler's quiescence detection (clock.Virtual advances
+// time only when every tracked goroutine is blocked) cannot see the new
+// goroutine: a virtual-time campaign then either deadlocks or advances
+// the clock while the untracked goroutine is still mid-step, desyncing it
+// from the real-time run of the same campaign.
+var untrackedGoScopes = []string{
+	"repro/app",
+	"repro/apps",
+	"repro/examples",
+	"repro/internal/probe",
+	"repro/internal/core",
+}
+
+// UntrackedGo reports bare `go` statements in application and
+// probe-reachable code. Spawn through Handle.Go (or Clock.Go) instead so
+// the goroutine is tracked for virtual-time quiescence.
+var UntrackedGo = &Analyzer{
+	Name: "untrackedgo",
+	Doc: "reject bare go statements in app/, apps/, examples/, internal/probe, and internal/core; " +
+		"untracked goroutines silently break clock.Virtual quiescence detection",
+	Run: runUntrackedGo,
+}
+
+func runUntrackedGo(pass *Pass) error {
+	inScope := false
+	for _, scope := range untrackedGoScopes {
+		if pathWithin(pass.Path, scope) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.ReportWithFix(g.Pos(),
+					"spawn with h.Go(func(){...}) (Handle.Go) or Clock.Go so the virtual clock tracks the goroutine",
+					"bare go statement: the virtual clock cannot track this goroutine, so quiescence detection misfires under virtual time")
+			}
+			return true
+		})
+	}
+	return nil
+}
